@@ -1,0 +1,68 @@
+"""E4 — allocation-policy ablation.
+
+Compares the paper's beta rule against the strawmen of Section 5.3
+(grant-everything, pure extremes), the origin-ray search-line variant, and
+the FDDI-only local rule of refs [1, 24].
+"""
+
+import pytest
+
+from repro.experiments.ablations import PolicyVariant, run_policy_ablation
+from repro.experiments.common import format_table
+from repro.config import CACConfig
+from repro.core.policies import MaxAvailPolicy
+
+VARIANTS = (
+    PolicyVariant("beta=0.5", cac_config=CACConfig(beta=0.5)),
+    PolicyVariant("min-need (beta=0)", cac_config=CACConfig(beta=0.0)),
+    PolicyVariant("max-avail", make_policy=MaxAvailPolicy),
+    PolicyVariant(
+        "origin-ray beta=0.5", cac_config=CACConfig(beta=0.5, use_origin_ray=True)
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def ablation_series(quick_settings):
+    return run_policy_ablation(
+        quick_settings, utilizations=(0.3, 0.9), variants=VARIANTS
+    )
+
+
+def test_ablation_regeneration(benchmark, quick_settings, ablation_series):
+    series = benchmark.pedantic(
+        run_policy_ablation,
+        kwargs=dict(
+            settings=quick_settings, utilizations=(0.9,), variants=VARIANTS[:2]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(series) == 2
+    # Section 5.3's claim: granting everything starves future requests.
+    at_heavy = {s.label: s.ys[-1] for s in ablation_series}
+    assert at_heavy["max-avail"] <= at_heavy["beta=0.5"]
+
+
+def test_max_avail_is_worst_at_heavy_load(ablation_series):
+    """Section 5.3: granting everything starves future requests."""
+    at_heavy = {s.label: s.ys[-1] for s in ablation_series}
+    assert at_heavy["max-avail"] <= at_heavy["beta=0.5"]
+
+
+def test_beta_rule_at_least_matches_min_need(ablation_series):
+    at_heavy = {s.label: s.ys[-1] for s in ablation_series}
+    assert at_heavy["beta=0.5"] >= at_heavy["min-need (beta=0)"] - 0.05
+
+
+def test_origin_ray_comparable(ablation_series):
+    """The two readings of Step 3 should perform in the same ballpark."""
+    at = {s.label: s.ys for s in ablation_series}
+    for i in range(len(at["beta=0.5"])):
+        assert abs(at["beta=0.5"][i] - at["origin-ray beta=0.5"][i]) < 0.35
+
+
+def test_print_series(ablation_series, capsys):
+    with capsys.disabled():
+        print()
+        print(format_table("U", ablation_series))

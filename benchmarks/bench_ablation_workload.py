@@ -1,0 +1,51 @@
+"""E5 — workload-sensitivity ablation: deadline tightness and burstiness."""
+
+import pytest
+
+from repro.experiments.ablations import run_workload_ablation
+from repro.experiments.common import format_table
+
+
+@pytest.fixture(scope="module")
+def workload_results(quick_settings):
+    return run_workload_ablation(
+        quick_settings,
+        utilization=0.6,
+        deadline_scales=(0.75, 1.0, 2.0),
+        burst_ratios=(1.0, 2.0),
+    )
+
+
+def test_workload_ablation_regeneration(benchmark, quick_settings, workload_results):
+    results = benchmark.pedantic(
+        run_workload_ablation,
+        kwargs=dict(
+            settings=quick_settings,
+            utilization=0.6,
+            deadline_scales=(1.0,),
+            burst_ratios=(2.0,),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(results) == {"deadline", "burstiness"}
+    # Looser deadlines must not hurt admission.
+    series = workload_results["deadline"][0]
+    by_scale = dict(zip(series.xs, series.ys))
+    assert by_scale[2.0] >= by_scale[0.75] - 0.05
+
+
+def test_looser_deadlines_help(workload_results):
+    series = workload_results["deadline"][0]
+    by_scale = dict(zip(series.xs, series.ys))
+    # Doubling every deadline should not hurt admission.
+    assert by_scale[2.0] >= by_scale[0.75] - 0.05
+
+
+def test_print_series(workload_results, capsys):
+    with capsys.disabled():
+        print()
+        print("deadline scale sweep:")
+        print(format_table("scale", workload_results["deadline"]))
+        print("burstiness sweep:")
+        print(format_table("ratio", workload_results["burstiness"]))

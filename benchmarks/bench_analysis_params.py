@@ -1,0 +1,88 @@
+"""E6c — sensitivity of the delay engine to its own approximation knobs.
+
+The engine has two conservative approximations: envelopes are coarsened to
+``max_envelope_segments`` breakpoints between stages, and port delays are
+rounded up to ``output_delay_quantum`` before advancing output envelopes.
+Both must only ever *increase* the reported bound (safety) — this bench
+measures how much accuracy each knob costs and how much time it buys.
+"""
+
+import pytest
+
+from repro.config import AnalysisConfig, build_network
+from repro.core.delay import ConnectionLoad, DelayAnalyzer
+from repro.network.connection import ConnectionSpec
+from repro.network.routing import compute_route
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+def make_loads(topo):
+    pairs = [
+        ("host1-1", "host2-1"),
+        ("host1-2", "host3-1"),
+        ("host2-2", "host3-2"),
+        ("host3-3", "host1-3"),
+    ]
+    loads = []
+    for i, (src, dst) in enumerate(pairs):
+        spec = ConnectionSpec(f"c{i}", src, dst, TRAFFIC, 0.2)
+        loads.append(
+            ConnectionLoad(spec, compute_route(topo, src, dst), 0.0015, 0.0015)
+        )
+    return loads
+
+
+def bound_with(topo, loads, **analysis_kwargs):
+    analyzer = DelayAnalyzer(
+        topo, analysis_config=AnalysisConfig(**analysis_kwargs)
+    )
+    return {cid: r.total_delay for cid, r in analyzer.compute(loads).items()}
+
+
+@pytest.fixture(scope="module")
+def network_and_loads():
+    topo = build_network()
+    return topo, make_loads(topo)
+
+
+def test_coarsening_is_conservative(network_and_loads):
+    topo, loads = network_and_loads
+    fine = bound_with(topo, loads, max_envelope_segments=256)
+    coarse = bound_with(topo, loads, max_envelope_segments=32)
+    for cid in fine:
+        assert coarse[cid] >= fine[cid] - 1e-9
+        # ...but not absurdly looser (within 2x; at 16 segments the loss
+        # grows to ~75%, which is why the default is 96).
+        assert coarse[cid] <= fine[cid] * 2.0
+
+
+def test_delay_quantum_is_conservative(network_and_loads):
+    topo, loads = network_and_loads
+    exact = bound_with(topo, loads, output_delay_quantum=0.0)
+    quantized = bound_with(topo, loads, output_delay_quantum=1e-3)
+    for cid in exact:
+        assert quantized[cid] >= exact[cid] - 1e-9
+        assert quantized[cid] <= exact[cid] * 1.25
+
+
+def test_bench_fine_analysis(benchmark, network_and_loads):
+    topo, loads = network_and_loads
+
+    def run():
+        return bound_with(topo, loads, max_envelope_segments=256,
+                          output_delay_quantum=0.0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) == 4
+
+
+def test_bench_default_analysis(benchmark, network_and_loads):
+    topo, loads = network_and_loads
+
+    def run():
+        return bound_with(topo, loads)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) == 4

@@ -1,0 +1,61 @@
+"""E6a — CAC decision latency.
+
+The paper argues the CAC "can make a connection admission decision
+effectively and efficiently"; this bench measures one full admission
+decision (feasibility check at max-avail + two binary searches) against a
+partially loaded network.
+"""
+
+import pytest
+
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.network.connection import ConnectionSpec
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+def preloaded_controller():
+    topo = build_network()
+    cac = AdmissionController(topo, cac_config=CACConfig(beta=0.5))
+    pairs = [
+        ("host1-1", "host2-1"),
+        ("host2-2", "host3-2"),
+        ("host3-3", "host1-3"),
+    ]
+    for i, (src, dst) in enumerate(pairs):
+        res = cac.request(ConnectionSpec(f"bg{i}", src, dst, TRAFFIC, 0.09))
+        assert res.admitted
+    return cac
+
+
+def test_admission_decision_latency(benchmark):
+    cac = preloaded_controller()
+    counter = [0]
+
+    def one_decision():
+        counter[0] += 1
+        cid = f"probe-{counter[0]}"
+        res = cac.request(
+            ConnectionSpec(cid, "host1-2", "host2-3", TRAFFIC, 0.09)
+        )
+        if res.admitted:
+            cac.release(cid)
+        return res
+
+    result = benchmark.pedantic(one_decision, rounds=10, iterations=1, warmup_rounds=2)
+    assert result is not None
+
+
+def test_rejection_decision_latency(benchmark):
+    """A hopeless request (sub-2-TTRT deadline) must be rejected quickly."""
+    cac = preloaded_controller()
+
+    def one_rejection():
+        return cac.request(
+            ConnectionSpec("nope", "host1-2", "host2-3", TRAFFIC, 0.012)
+        )
+
+    result = benchmark.pedantic(one_rejection, rounds=5, iterations=1)
+    assert not result.admitted

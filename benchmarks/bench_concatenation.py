@@ -1,0 +1,84 @@
+"""E6e — additive decomposition (Eq. 7) vs concatenation bound.
+
+The paper sums per-server worst-case delays; network calculus can instead
+convolve per-server service curves and pay the source burst once.  This
+bench reports both bounds on the paper's network and checks each remains a
+valid upper bound of the packet-level simulation.
+"""
+
+import pytest
+
+from repro.config import build_network
+from repro.core.concatenation import ConcatenationAnalyzer
+from repro.core.delay import ConnectionLoad
+from repro.network.connection import ConnectionSpec
+from repro.network.routing import compute_route
+from repro.sim.packet_sim import PacketLevelSimulator
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+PAIRS = [
+    ("host1-1", "host2-1"),
+    ("host1-2", "host3-1"),
+    ("host2-2", "host3-2"),
+    ("host3-3", "host1-3"),
+]
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    topo = build_network()
+    loads = []
+    for i, (src, dst) in enumerate(PAIRS):
+        spec = ConnectionSpec(f"c{i}", src, dst, TRAFFIC, 0.3)
+        loads.append(
+            ConnectionLoad(spec, compute_route(topo, src, dst), 0.0015, 0.0015)
+        )
+    reports = ConcatenationAnalyzer(topo).analyze(loads)
+    observed = PacketLevelSimulator(topo, loads, adversarial_phase=True).run(0.3)
+    return reports, observed
+
+
+def test_bench_concatenation_analysis(benchmark):
+    topo = build_network()
+    loads = []
+    for i, (src, dst) in enumerate(PAIRS):
+        spec = ConnectionSpec(f"c{i}", src, dst, TRAFFIC, 0.3)
+        loads.append(
+            ConnectionLoad(spec, compute_route(topo, src, dst), 0.0015, 0.0015)
+        )
+    analyzer = ConcatenationAnalyzer(topo)
+    reports = benchmark.pedantic(analyzer.analyze, args=(loads,), rounds=3, iterations=1)
+    assert len(reports) == len(PAIRS)
+
+
+def test_both_bounds_dominate_observation(comparison):
+    reports, observed = comparison
+    for cid, rep in reports.items():
+        assert observed.max_delay[cid] <= rep.additive_bound + 1e-9
+        assert observed.max_delay[cid] <= rep.concatenated_bound + 1e-9
+
+
+def test_bounds_within_factor_of_each_other(comparison):
+    # Neither technique should be wildly looser on this route shape.
+    reports, _ = comparison
+    for rep in reports.values():
+        assert 0.2 < rep.improvement < 5.0
+
+
+def test_print_comparison(comparison, capsys):
+    reports, observed = comparison
+    with capsys.disabled():
+        print()
+        print(
+            f"  {'conn':6s} {'additive(ms)':>13s} {'concat(ms)':>11s} "
+            f"{'observed(ms)':>13s} {'add/concat':>10s}"
+        )
+        for cid, rep in sorted(reports.items()):
+            print(
+                f"  {cid:6s} {rep.additive_bound * 1e3:13.2f} "
+                f"{rep.concatenated_bound * 1e3:11.2f} "
+                f"{observed.max_delay[cid] * 1e3:13.2f} "
+                f"{rep.improvement:10.2f}"
+            )

@@ -1,0 +1,81 @@
+"""E6b — envelope-algebra micro-benchmarks.
+
+The envelope operations are the inner loop of every CAC decision; these
+benches track their throughput on representative curve sizes.
+"""
+
+import pytest
+
+from repro.envelopes import (
+    busy_interval,
+    deconvolve,
+    horizontal_deviation,
+    timed_token_staircase,
+    vertical_deviation,
+)
+from repro.traffic import DualPeriodicTraffic
+from repro.units import MBIT
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+@pytest.fixture(scope="module")
+def arrival():
+    return TRAFFIC.envelope(horizon=0.5)
+
+
+@pytest.fixture(scope="module")
+def service():
+    return timed_token_staircase(0.0012, 0.008, 100 * MBIT, n_steps=64)
+
+
+def test_bench_horizontal_deviation(benchmark, arrival, service):
+    d = benchmark(horizontal_deviation, arrival, service)
+    assert d > 0
+
+
+def test_bench_vertical_deviation(benchmark, arrival, service):
+    v = benchmark(vertical_deviation, arrival, service, 0.5)
+    assert v > 0
+
+
+def test_bench_busy_interval(benchmark, arrival, service):
+    b = benchmark(busy_interval, arrival, service)
+    assert b > 0
+
+
+def test_bench_deconvolve(benchmark, arrival, service):
+    b = busy_interval(arrival, service)
+    out = benchmark(deconvolve, arrival, service, b)
+    assert out.final_slope == pytest.approx(arrival.final_slope)
+
+
+def test_bench_curve_addition(benchmark, arrival):
+    total = benchmark(lambda: arrival + arrival + arrival)
+    assert total(0.1) == pytest.approx(3 * arrival(0.1))
+
+
+def test_bench_mac_analysis(benchmark, arrival):
+    from repro.fddi import FDDIMacServer
+
+    server = FDDIMacServer(0.0012, 0.008, 100 * MBIT)
+    result = benchmark(server.analyze, arrival)
+    assert result.delay_bound > 0
+
+
+def test_bench_end_to_end_delay(benchmark):
+    from repro.config import build_network
+    from repro.core.delay import ConnectionLoad, DelayAnalyzer
+    from repro.network.connection import ConnectionSpec
+    from repro.network.routing import compute_route
+
+    topo = build_network()
+    spec = ConnectionSpec("c", "host1-1", "host2-1", TRAFFIC, 0.09)
+    load = ConnectionLoad(spec, compute_route(topo, "host1-1", "host2-1"), 0.0015, 0.0015)
+
+    def fresh_compute():
+        # New analyzer each call: measures the uncached full analysis.
+        return DelayAnalyzer(topo).compute([load])["c"].total_delay
+
+    d = benchmark.pedantic(fresh_compute, rounds=5, iterations=1)
+    assert d > 0

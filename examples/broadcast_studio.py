@@ -1,0 +1,85 @@
+"""Broadcast studio: MPEG feeds, a breaking-news preemption, and VCs.
+
+A studio distributes MPEG program feeds between production sites on three
+FDDI LANs.  This scenario exercises three extensions together:
+
+* :class:`repro.traffic.MPEGTraffic` — GOP-structured video sources;
+* :class:`repro.atm.VirtualCircuitManager` — every admitted feed gets a
+  real VPI/VCI label chain through the backbone;
+* :class:`repro.core.PreemptiveAdmission` — when the network is full, a
+  breaking-news feed (highest importance) evicts the least important
+  program to get on air.
+
+Run:  python examples/broadcast_studio.py
+"""
+
+from repro.atm import VirtualCircuitManager
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.core.preemption import PreemptiveAdmission
+from repro.network.connection import ConnectionSpec
+from repro.traffic import MPEGTraffic
+
+#: Program feed: 6-frame GOP at 30 fps, ~2.3 Mbps.
+PROGRAM = MPEGTraffic(
+    frame_bits=[200_000, 40_000, 40_000, 100_000, 40_000, 40_000], fps=30
+)
+#: News feed: higher-quality I-heavy stream, ~4 Mbps.
+NEWS = MPEGTraffic(
+    frame_bits=[300_000, 80_000, 80_000, 160_000], fps=25
+)
+
+FEEDS = [
+    ("morning-show", "host1-1", "host2-1", 0.9),
+    ("daytime-a", "host1-2", "host3-1", 0.5),
+    ("daytime-b", "host2-2", "host3-2", 0.5),
+    ("rerun-channel", "host3-3", "host1-3", 0.1),
+    ("shopping", "host2-3", "host1-4", 0.1),
+]
+DEADLINE = 0.120
+
+
+def main() -> None:
+    topology = build_network()
+    # Generous grants (beta = 1) so the schedule genuinely fills the rings.
+    cac = AdmissionController(topology, cac_config=CACConfig(beta=1.0))
+    admission = PreemptiveAdmission(cac)
+    circuits = VirtualCircuitManager(topology)
+
+    print("=== Scheduling the day's programs ===")
+    for name, src, dst, importance in FEEDS:
+        res = admission.request(
+            ConnectionSpec(name, src, dst, PROGRAM, DEADLINE), importance
+        )
+        if res.admitted:
+            vc = circuits.setup(name, res.result.record.route)
+            labels = ", ".join(f"{h.link_id}#{h.vci}" for h in vc.hops)
+            print(f"  {name:14s} on air (VC: {labels})")
+        else:
+            print(f"  {name:14s} refused: {res.result.reason}")
+
+    print("\n=== Breaking news from site 1 to site 3 ===")
+    res = admission.request(
+        ConnectionSpec("breaking-news", "host1-1", "host3-4", NEWS, 0.080),
+        importance=10.0,
+    )
+    if res.admitted:
+        for victim in res.preempted:
+            circuits.teardown(victim)
+            print(f"  {victim} pulled off air (preempted)")
+        vc = circuits.setup("breaking-news", res.result.record.route)
+        print(
+            f"  breaking-news on air, bound "
+            f"{res.result.record.delay_bound * 1e3:.1f} ms, "
+            f"{len(vc.hops)} VC hops"
+        )
+    else:
+        print(f"  could not air: {res.result.reason}")
+
+    print("\n=== Switch s1 VC table ===")
+    for in_vci, in_link, out_vci, out_link in circuits.translation_table("s1"):
+        print(f"  {in_link}#{in_vci}  ->  {out_link}#{out_vci}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Capacity planning: mapping the feasible region and stress-testing beta.
+
+A network architect wants to know (a) what allocations are even feasible
+for a new connection class — the (H_S, H_R) feasible region of Theorems
+3/4 — and (b) how many such connections the network can carry under each
+allocation policy before the CAC starts refusing.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.core.delay import ConnectionLoad
+from repro.core.feasible_region import feasibility_grid, lower_boundary_on_ray
+from repro.network.connection import ConnectionSpec
+from repro.network.routing import compute_route
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+DEADLINE = 0.070
+
+
+def map_feasible_region() -> None:
+    """ASCII map of the feasible region for the first connection."""
+    topology = build_network()
+    cac = AdmissionController(topology)
+    spec = ConnectionSpec("probe", "host1-1", "host2-1", TRAFFIC, DEADLINE)
+    route = compute_route(topology, "host1-1", "host2-1")
+
+    def feasible(h_s: float, h_r: float) -> bool:
+        if h_s <= 0 or h_r <= 0:
+            return False
+        return cac.check_feasible(ConnectionLoad(spec, route, h_s, h_r)) is not None
+
+    hi = topology.rings["ring1"].available_sync_time
+    sample = feasibility_grid(feasible, (0.0004, hi), (0.0004, hi), resolution=14)
+
+    print(f"Feasible (H_S, H_R) region for one {DEADLINE * 1e3:.0f} ms connection")
+    print("('#' feasible, '.' infeasible; axes in ms of synchronous time)\n")
+    for i in range(len(sample.h_s_values) - 1, -1, -1):
+        h_s = sample.h_s_values[i]
+        row = "".join("#" if ok else "." for ok in sample.feasible[i])
+        print(f"  H_S={h_s * 1e3:5.2f} | {row}")
+    labels = [f"{v * 1e3:.1f}" for v in sample.h_r_values[:: len(sample.h_r_values) - 1]]
+    print(f"            H_R: {labels[0]} ms ... {labels[-1]} ms")
+    print(f"  ({sample.fraction_feasible() * 100:.0f}% of the sampled rectangle is feasible)")
+
+    boundary = lower_boundary_on_ray(feasible, (hi, hi))
+    if boundary:
+        print(
+            f"  minimum needed allocation on the diagonal: "
+            f"H_S = H_R = {boundary[0] * 1e3:.2f} ms"
+        )
+
+
+def packing_comparison() -> None:
+    """How many identical connections fit under each policy."""
+    print("\nHow many 8 Mbps connections fit before the first rejection?")
+    sources = [
+        ("host1-1", "host2-1"), ("host2-1", "host3-1"), ("host3-1", "host1-1"),
+        ("host1-2", "host2-2"), ("host2-2", "host3-2"), ("host3-2", "host1-2"),
+        ("host1-3", "host2-3"), ("host2-3", "host3-3"), ("host3-3", "host1-3"),
+        ("host1-4", "host2-4"), ("host2-4", "host3-4"), ("host3-4", "host1-4"),
+    ]
+    for beta in (0.0, 0.5, 1.0):
+        topology = build_network()
+        cac = AdmissionController(topology, cac_config=CACConfig(beta=beta))
+        packed = 0
+        for i, (src, dst) in enumerate(sources):
+            res = cac.request(
+                ConnectionSpec(f"c{i}", src, dst, TRAFFIC, DEADLINE)
+            )
+            if not res.admitted:
+                break
+            packed += 1
+        print(f"  beta={beta:g}: {packed} connections before the first rejection")
+
+
+def main() -> None:
+    map_feasible_region()
+    packing_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Industrial control: hard deadlines validated against a packet-level run.
+
+A plant floor has sensors and controllers on different FDDI segments of a
+heterogeneous campus network.  Control loops need *guaranteed* bounds —
+a missed deadline is a plant fault, not a quality-of-service hiccup.
+
+The script:
+
+1. admits periodic sensor->controller and controller->actuator flows with
+   tight deadlines through the CAC;
+2. replays greedy worst-case traffic through the packet-level simulator;
+3. verifies that no observed delay ever exceeds the analytic bound the CAC
+   promised (the contract the paper's Theorem 1 machinery underwrites).
+
+Run:  python examples/industrial_control.py
+"""
+
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.core.delay import ConnectionLoad
+from repro.network.connection import ConnectionSpec
+from repro.sim.packet_sim import PacketLevelSimulator
+from repro.traffic import PeriodicTraffic
+
+#: Sensor scans: 40 kbit of readings every 20 ms (2 Mbps sustained).
+SENSOR_SCAN = PeriodicTraffic(c=40_000.0, p=0.020)
+#: Actuator commands: 16 kbit every 10 ms.
+ACTUATOR_CMD = PeriodicTraffic(c=16_000.0, p=0.010)
+
+FLOWS = [
+    ("press-line/sensors", "host1-1", "host2-1", SENSOR_SCAN, 0.060),
+    ("press-line/actuate", "host2-1", "host1-2", ACTUATOR_CMD, 0.050),
+    ("paint-shop/sensors", "host2-2", "host3-1", SENSOR_SCAN, 0.060),
+    ("paint-shop/actuate", "host3-1", "host2-3", ACTUATOR_CMD, 0.050),
+    ("assembly/sensors", "host3-2", "host1-3", SENSOR_SCAN, 0.060),
+]
+
+
+def main() -> None:
+    topology = build_network()
+    cac = AdmissionController(topology, cac_config=CACConfig(beta=0.5))
+
+    print("=== Admitting control loops ===")
+    for name, src, dst, traffic, deadline in FLOWS:
+        result = cac.request(ConnectionSpec(name, src, dst, traffic, deadline))
+        status = (
+            f"bound {result.record.delay_bound * 1e3:.1f} ms "
+            f"<= deadline {deadline * 1e3:.0f} ms"
+            if result.admitted
+            else f"REJECTED: {result.reason}"
+        )
+        print(f"  {name:22s} {status}")
+
+    loads = [
+        ConnectionLoad(r.spec, r.route, r.h_source, r.h_dest)
+        for r in cac.connections.values()
+    ]
+    print("\n=== Worst-case replay through the packet-level simulator ===")
+    sim = PacketLevelSimulator(topology, loads)
+    observed = sim.run(duration=0.5)
+
+    all_ok = True
+    for conn_id, record in sorted(cac.connections.items()):
+        max_seen = observed.max_delay.get(conn_id, 0.0)
+        ok = max_seen <= record.delay_bound + 1e-9
+        all_ok &= ok
+        print(
+            f"  {conn_id:22s} observed {max_seen * 1e3:7.2f} ms | "
+            f"promised {record.delay_bound * 1e3:7.2f} ms | "
+            f"{'OK' if ok else 'VIOLATED'}"
+        )
+    print(
+        "\nContract verified: every observed delay stayed within the "
+        "CAC's analytic bound."
+        if all_ok
+        else "\nBOUND VIOLATION — this would be a bug in the analysis."
+    )
+
+
+if __name__ == "__main__":
+    main()

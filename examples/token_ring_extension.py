@@ -1,0 +1,113 @@
+"""Section 7 extension: an IEEE 802.5 token ring as the LAN segment.
+
+The paper closes with: "if the LAN segments are IEEE 802.5 token rings, one
+only needs to analyze an 802.5_MAC server in addition to the servers that
+have been analyzed in this paper."  This example does exactly that — it
+bounds the end-to-end worst-case delay of a connection whose *source* LAN
+is a 16 Mbps 802.5 ring, crossing the same ATM backbone, by composing the
+library's server analyses directly:
+
+    802.5 MAC -> ID_S stages (Theorem 2) -> ATM output port -> propagation
+    -> ID_R stages -> destination FDDI MAC -> delay line
+
+Run:  python examples/token_ring_extension.py
+"""
+
+from repro.atm import AtmLink, OutputPortServer
+from repro.fddi import FDDIMacServer, TokenRing8025MacServer
+from repro.interface_device import (
+    CellFrameConversionServer,
+    FrameCellConversionServer,
+)
+from repro.servers import ConstantDelayServer, ServerChain
+from repro.traffic import PeriodicTraffic
+from repro.units import MBIT, US
+
+
+def main() -> None:
+    # The connection: 2 Mbps of sensor data in 40 kbit messages every 20 ms.
+    traffic = PeriodicTraffic(c=40_000.0, p=0.020)
+    envelope = traffic.envelope(horizon=0.5)
+
+    # --- Source LAN: a 16 Mbps 802.5 ring with 5 stations -----------------
+    # Our station holds the token for 1 ms per cycle; the full cycle
+    # (everyone's holding time + token walk) is 6 ms.
+    source_mac = TokenRing8025MacServer.for_ring(
+        holding_times=[0.001, 0.002, 0.001, 0.001, 0.0005],
+        station_index=0,
+        bandwidth=16 * MBIT,
+        walk_time=0.0005,
+        name="802.5-mac:src",
+    )
+
+    # --- Interface device, ATM hop, receiving device ----------------------
+    uplink = AtmLink("id->s1", rate=155.52 * MBIT, propagation_delay=10 * US)
+    chain = ServerChain(
+        [
+            source_mac,
+            ConstantDelayServer(50 * US, name="802.5 delay line"),
+            ConstantDelayServer(10 * US, name="ID_S input port"),
+            ConstantDelayServer(10 * US, name="ID_S frame switch"),
+            FrameCellConversionServer(
+                frame_bits=16_000.0, processing_delay=20 * US, name="frame->cell"
+            ),
+        ],
+        name="source-side",
+    )
+    source_side = chain.analyze(envelope)
+
+    # The shared ATM port: our cells compete with 60 Mbps of cross traffic.
+    port = OutputPortServer(uplink, port_latency=3 * US)
+    from repro.envelopes.curve import Curve
+
+    cross_traffic = [Curve.affine(100_000.0, 60 * MBIT)]
+    port_result = port.analyze_tagged(source_side.output, cross_traffic)
+
+    receive_chain = ServerChain(
+        [
+            ConstantDelayServer(10 * US, name="ID_R input port"),
+            CellFrameConversionServer(
+                frame_bits=16_000.0, processing_delay=20 * US, name="cell->frame"
+            ),
+            ConstantDelayServer(10 * US, name="ID_R frame switch"),
+            # Destination LAN is a standard FDDI ring (heterogeneous mix!).
+            FDDIMacServer(
+                sync_time=0.0008,
+                ttrt=0.008,
+                bandwidth=100 * MBIT,
+                name="fddi-mac:dst",
+            ),
+            ConstantDelayServer(50 * US, name="FDDI delay line"),
+        ],
+        name="receive-side",
+    )
+    receive_side = receive_chain.analyze(port_result.output)
+
+    total = (
+        source_side.delay_bound
+        + port_result.delay_bound
+        + uplink.propagation_delay
+        + receive_side.delay_bound
+    )
+
+    print("802.5 -> ATM -> FDDI worst-case delay decomposition")
+    print("====================================================")
+    breakdown, _ = chain.analyze_per_hop(envelope)
+    for name, r in breakdown:
+        print(f"  {name:26s} {r.delay_bound * 1e3:8.3f} ms")
+    print(f"  {'ATM output port':26s} {port_result.delay_bound * 1e3:8.3f} ms")
+    print(f"  {'link propagation':26s} {uplink.propagation_delay * 1e3:8.3f} ms")
+    rx_breakdown, _ = receive_chain.analyze_per_hop(port_result.output)
+    for name, r in rx_breakdown:
+        print(f"  {name:26s} {r.delay_bound * 1e3:8.3f} ms")
+    print("  " + "-" * 38)
+    print(f"  {'END-TO-END BOUND':26s} {total * 1e3:8.3f} ms")
+    print(
+        "\nOnly the first server changed relative to the FDDI analysis — "
+        "the rest of the\npipeline (and the CAC built on it) is reused "
+        "unchanged, exactly as Section 7\npromises."
+    )
+
+
+if __name__ == "__main__":
+    main()

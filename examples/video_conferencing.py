@@ -1,0 +1,89 @@
+"""Multi-site video conferencing: the beta trade-off in action.
+
+Scenario from the paper's motivation: sites on three FDDI LANs hold video
+conferences across the ATM backbone.  Each conference needs a video stream
+(bursty, dual-periodic) and an audio stream (packetized CBR) with hard
+end-to-end deadlines.
+
+The script admits conferences one by one under three allocation policies —
+beta = 0 (minimum needed), beta = 0.5 (the paper's recommendation) and
+beta = 1 (maximum useful) — and shows how over- or under-allocation costs
+admissions as the network fills (Section 5.3's argument).
+
+Run:  python examples/video_conferencing.py
+"""
+
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.network.connection import ConnectionSpec
+from repro.traffic import CBRTraffic, DualPeriodicTraffic
+
+#: 4 Mbps motion-JPEG-era video: 60 kbit frames every 15 ms, up to two
+#: frames back to back inside a window.
+VIDEO = DualPeriodicTraffic(c1=60_000.0, p1=0.015, c2=30_000.0, p2=0.005)
+#: 256 kbps audio in 1 kbit packets.
+AUDIO = CBRTraffic(rate=256_000.0, packet_bits=1_000.0)
+
+#: (conference, source, destination) — round-robin across the rings.
+CONFERENCES = [
+    ("conf-A", "host1-1", "host2-1"),
+    ("conf-B", "host2-2", "host3-1"),
+    ("conf-C", "host3-2", "host1-2"),
+    ("conf-D", "host1-3", "host3-3"),
+    ("conf-E", "host2-3", "host1-4"),
+    ("conf-F", "host3-4", "host2-4"),
+]
+
+VIDEO_DEADLINE = 0.080   # 80 ms end-to-end for video
+AUDIO_DEADLINE = 0.060   # 60 ms for audio
+
+
+def run_policy(beta: float) -> None:
+    topology = build_network()
+    cac = AdmissionController(topology, cac_config=CACConfig(beta=beta))
+    admitted_conferences = 0
+    print(f"\n--- beta = {beta:g} ---")
+    for name, src, dst in CONFERENCES:
+        video = cac.request(
+            ConnectionSpec(f"{name}/video", src, dst, VIDEO, VIDEO_DEADLINE)
+        )
+        if not video.admitted:
+            print(f"{name}: REJECTED (video: {video.reason})")
+            continue
+        audio = cac.request(
+            ConnectionSpec(f"{name}/audio", dst, src, AUDIO, AUDIO_DEADLINE)
+        )
+        if not audio.admitted:
+            # All-or-nothing: a conference without audio is useless.
+            cac.release(f"{name}/video")
+            print(f"{name}: REJECTED (audio: {audio.reason})")
+            continue
+        admitted_conferences += 1
+        print(
+            f"{name}: admitted  video bound "
+            f"{video.record.delay_bound * 1e3:.1f} ms, audio bound "
+            f"{audio.record.delay_bound * 1e3:.1f} ms"
+        )
+    total_sync = sum(
+        ring.allocated_sync_time for ring in topology.rings.values()
+    )
+    print(
+        f"=> {admitted_conferences}/{len(CONFERENCES)} conferences admitted; "
+        f"{total_sync * 1e3:.2f} ms of synchronous time allocated network-wide"
+    )
+
+
+def main() -> None:
+    print("Video conferencing across an FDDI-ATM-FDDI campus network")
+    print("==========================================================")
+    for beta in (0.0, 0.5, 1.0):
+        run_policy(beta)
+    print(
+        "\nbeta=1 over-allocates (few conferences fit); beta=0 leaves zero "
+        "slack (later\nconferences disturb earlier ones and get rejected); "
+        "the paper's interior beta\nadmits the most."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""ATM cell constants and frame-to-cell arithmetic.
+
+An ATM cell is 53 octets on the wire, 48 of which are payload.  Envelopes
+inside the library count *payload* bits (that is what Theorem 2's
+``F_C * C_S`` counts); the output-port analysis converts to wire occupancy
+with :data:`WIRE_EXPANSION`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: Bits per cell on the wire (53 octets).
+CELL_BITS = 53 * 8
+#: Payload bits per cell (48 octets) — the paper's ``C_S``.
+CELL_PAYLOAD_BITS = 48 * 8
+#: Wire bits transmitted per payload bit carried.
+WIRE_EXPANSION = CELL_BITS / CELL_PAYLOAD_BITS
+
+
+def cells_for_frame(frame_bits: float) -> int:
+    """``F_C`` — the number of cells one LAN frame converts into."""
+    if frame_bits <= 0:
+        raise ConfigurationError("frame size must be positive")
+    return int(math.ceil(frame_bits / CELL_PAYLOAD_BITS - 1e-12))
+
+
+def payload_bits_for_frame(frame_bits: float) -> float:
+    """``F_C * C_S`` — payload bits (with padding) carrying one frame."""
+    return cells_for_frame(frame_bits) * CELL_PAYLOAD_BITS

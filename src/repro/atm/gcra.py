@@ -1,0 +1,116 @@
+"""The Generic Cell Rate Algorithm (GCRA) — ATM usage parameter control.
+
+The network side of the paper's connection "contract" (Section 3.2): the
+application declares its traffic and the network *polices* it.  In ATM the
+standard policer is the GCRA — the continuous-state ("virtual scheduling")
+leaky bucket of ITU-T I.371: a cell arriving at time ``t`` conforms iff it
+is no earlier than ``TAT - tau`` (theoretical arrival time minus the
+tolerance), and each conforming cell advances ``TAT`` by the increment
+``T`` (the reciprocal of the policed cell rate).
+
+A stream that conforms to ``GCRA(T, tau)`` is exactly leaky-bucket
+constrained: at most ``1 + floor((I + tau) / T)`` cells in any window of
+length ``I`` — the bridge between the descriptor world
+(:class:`repro.traffic.LeakyBucketTraffic`) and cell-by-cell enforcement at
+the interface devices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, List, Tuple
+
+from repro.atm.cell import CELL_PAYLOAD_BITS
+from repro.errors import ConfigurationError
+from repro.traffic.leaky_bucket import LeakyBucketTraffic
+
+
+@dataclasses.dataclass
+class GCRA:
+    """Continuous-state leaky-bucket policer for one cell stream.
+
+    Parameters
+    ----------
+    increment:
+        ``T`` — seconds per conforming cell (1 / peak cell rate).
+    tolerance:
+        ``tau`` — cell delay variation tolerance, seconds.
+    """
+
+    increment: float
+    tolerance: float
+
+    def __post_init__(self):
+        if self.increment <= 0:
+            raise ConfigurationError("GCRA increment must be positive")
+        if self.tolerance < 0:
+            raise ConfigurationError("GCRA tolerance must be non-negative")
+        self._tat = 0.0
+        self._last_time = -math.inf
+
+    def check(self, arrival_time: float) -> bool:
+        """Police one cell; returns True iff it conforms (and commits it).
+
+        Arrival times must be non-decreasing.
+        """
+        if arrival_time < self._last_time - 1e-12:
+            raise ConfigurationError("GCRA arrivals must be time-ordered")
+        self._last_time = arrival_time
+        if arrival_time < self._tat - self.tolerance - 1e-15:
+            return False  # too early: non-conforming, state unchanged
+        self._tat = max(arrival_time, self._tat) + self.increment
+        return True
+
+    def reset(self) -> None:
+        """Forget all state (new connection on the same policer)."""
+        self._tat = 0.0
+        self._last_time = -math.inf
+
+    # ------------------------------------------------------------------
+    # Contract <-> descriptor bridges
+    # ------------------------------------------------------------------
+
+    def max_cells_in_window(self, window: float) -> int:
+        """Cells a conforming stream can put in any window of length ``window``."""
+        if window < 0:
+            raise ConfigurationError("window must be non-negative")
+        return 1 + int(math.floor((window + self.tolerance) / self.increment))
+
+    def equivalent_descriptor(
+        self, cell_bits: float = CELL_PAYLOAD_BITS
+    ) -> LeakyBucketTraffic:
+        """The tightest leaky-bucket descriptor of a conforming stream.
+
+        ``sigma = (1 + tau / T) * cell_bits`` and ``rho = cell_bits / T``.
+        """
+        rho = cell_bits / self.increment
+        sigma = (1.0 + self.tolerance / self.increment) * cell_bits
+        return LeakyBucketTraffic(sigma=sigma, rho=rho)
+
+    @classmethod
+    def for_rate(
+        cls,
+        cell_rate: float,
+        burst_cells: float = 1.0,
+    ) -> "GCRA":
+        """Build a policer for ``cell_rate`` cells/second allowing a burst
+        of ``burst_cells`` back-to-back cells (tau = (N-1) * T)."""
+        if cell_rate <= 0:
+            raise ConfigurationError("cell rate must be positive")
+        if burst_cells < 1:
+            raise ConfigurationError("burst must be at least one cell")
+        increment = 1.0 / cell_rate
+        tolerance = (burst_cells - 1.0) * increment
+        return cls(increment=increment, tolerance=tolerance)
+
+
+def police_stream(
+    gcra: GCRA, arrivals: Iterable[float]
+) -> Tuple[List[float], List[float]]:
+    """Split a cell arrival sequence into (conforming, dropped) times."""
+    ok: List[float] = []
+    dropped: List[float] = []
+    for t in arrivals:
+        (ok if gcra.check(t) else dropped).append(t)
+    return ok, dropped

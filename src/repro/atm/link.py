@@ -1,0 +1,42 @@
+"""Physical ATM links."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.atm.cell import WIRE_EXPANSION
+
+
+@dataclasses.dataclass(frozen=True)
+class AtmLink:
+    """A point-to-point ATM link.
+
+    Parameters
+    ----------
+    link_id:
+        Identifier (also names the output port that feeds the link).
+    rate:
+        Wire transmission rate in bits/second (155.52 Mbps for OC-3).
+    propagation_delay:
+        One-way propagation time, seconds.
+    """
+
+    link_id: str
+    rate: float
+    propagation_delay: float = 0.0
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ConfigurationError("link rate must be positive")
+        if self.propagation_delay < 0:
+            raise ConfigurationError("propagation delay must be non-negative")
+
+    @property
+    def payload_rate(self) -> float:
+        """Effective payload bits/second (wire rate divided by cell overhead).
+
+        Envelopes count cell-payload bits, so a link serving them drains at
+        ``rate / WIRE_EXPANSION``.
+        """
+        return self.rate / WIRE_EXPANSION

@@ -1,0 +1,121 @@
+"""The FIFO output-port server: the shared multiplexer of the ATM fabric.
+
+An output port queues the cells of every connection routed over its link
+and transmits them FIFO at the link rate.  For a *tagged* connection with
+envelope ``A_tag`` sharing the port with cross-traffic ``A_1..A_n``
+(envelopes taken at the port's entrance), the classical busy-period results
+used by refs [2, 14] give:
+
+* worst-case delay = port latency + horizontal deviation between the
+  *aggregate* envelope and the link service curve;
+* worst-case backlog = vertical deviation of the aggregate;
+* the tagged connection's output envelope = its input envelope advanced by
+  the delay bound, capped by the link rate (a FIFO server cannot reorder,
+  so a bit leaving at ``t`` entered within the last ``d`` seconds).
+
+Envelopes count cell-payload bits; the service rate is the link's payload
+rate (wire rate scaled by 48/53).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.atm.link import AtmLink
+from repro.envelopes.curve import Curve, sum_curves
+from repro.envelopes.operations import (
+    busy_interval,
+    horizontal_deviation,
+    vertical_deviation,
+)
+from repro.errors import BufferOverflowError, ConfigurationError, UnstableSystemError
+from repro.servers.base import ServerAnalysis, SharedServer
+
+
+class OutputPortServer(SharedServer):
+    """FIFO multiplexer onto one ATM link.
+
+    Parameters
+    ----------
+    link:
+        The outgoing :class:`AtmLink` (provides the service rate).
+    port_latency:
+        Fixed per-cell processing latency at the port, seconds.
+    buffer_bits:
+        Port buffer in payload bits (``inf`` = unbounded).  Overflow means
+        cell loss — infinite delay for a hard real-time connection — so it
+        raises :class:`BufferOverflowError`.
+    """
+
+    def __init__(
+        self,
+        link: AtmLink,
+        port_latency: float = 0.0,
+        buffer_bits: float = math.inf,
+        name: str = None,
+    ):
+        if port_latency < 0:
+            raise ConfigurationError("port latency must be non-negative")
+        if buffer_bits <= 0:
+            raise ConfigurationError("buffer must be positive (or inf)")
+        self.link = link
+        self.port_latency = float(port_latency)
+        self.buffer_bits = float(buffer_bits)
+        self.name = name if name is not None else f"port:{link.link_id}"
+
+    @property
+    def service_rate(self) -> float:
+        """Payload service rate of the outgoing link (bits/second)."""
+        return self.link.payload_rate
+
+    def service_curve(self) -> Curve:
+        """The port's service curve: rate-latency with the port latency."""
+        return Curve.rate_latency(self.service_rate, self.port_latency)
+
+    def analyze_tagged(
+        self, tagged: Curve, cross: Sequence[Curve]
+    ) -> ServerAnalysis:
+        """Busy-period FIFO analysis for the tagged connection.
+
+        Raises
+        ------
+        UnstableSystemError
+            If the aggregate long-term rate exceeds the link payload rate.
+        BufferOverflowError
+            If the worst-case aggregate backlog exceeds the port buffer.
+        """
+        aggregate = sum_curves([tagged, *cross])
+        service = self.service_curve()
+        if aggregate.final_slope > self.service_rate * (1 + 1e-12):
+            raise UnstableSystemError(
+                f"{self.name}: aggregate rate {aggregate.final_slope:.6g} b/s "
+                f"exceeds link payload rate {self.service_rate:.6g} b/s"
+            )
+        b = busy_interval(aggregate, service)
+        if math.isinf(b):
+            raise UnstableSystemError(f"{self.name}: unbounded busy period")
+        backlog = vertical_deviation(aggregate, service, t_max=b)
+        if backlog > self.buffer_bits + 1e-9:
+            raise BufferOverflowError(
+                f"{self.name}: worst-case backlog {backlog:.6g} bits exceeds "
+                f"buffer {self.buffer_bits:.6g} bits"
+            )
+        delay = horizontal_deviation(aggregate, service, t_max=b)
+        if math.isinf(delay):
+            raise UnstableSystemError(f"{self.name}: unbounded delay")
+
+        # FIFO output bound: the tagged envelope advanced by the delay bound,
+        # capped at the link payload rate (cells leave serialized).
+        output = tagged.shift_left(delay).minimum(
+            Curve.affine(0.0, self.service_rate)
+        )
+        return ServerAnalysis(
+            delay_bound=delay,
+            output=output,
+            backlog_bound=backlog,
+            busy_interval=b,
+        )
+
+    def __repr__(self) -> str:
+        return f"OutputPortServer({self.name!r}, rate={self.link.rate:.4g} b/s)"

@@ -1,0 +1,78 @@
+"""ATM switches: a constant-delay fabric feeding per-link output ports."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.atm.link import AtmLink
+from repro.atm.output_port import OutputPortServer
+from repro.errors import ConfigurationError, TopologyError
+
+
+class AtmSwitch:
+    """One ATM switch.
+
+    The switch fabric moves a cell from any input to its output port in a
+    bounded, load-independent time (``fabric_delay``); contention happens
+    only at the output ports, one per attached link — the standard
+    output-queued switch model the paper's references analyze.
+    """
+
+    def __init__(
+        self,
+        switch_id: str,
+        fabric_delay: float = 0.0,
+        port_buffer_bits: float = math.inf,
+        port_latency: float = 0.0,
+    ):
+        if fabric_delay < 0:
+            raise ConfigurationError("fabric delay must be non-negative")
+        self.switch_id = switch_id
+        self.fabric_delay = float(fabric_delay)
+        self._port_buffer_bits = port_buffer_bits
+        self._port_latency = port_latency
+        self._ports: Dict[str, OutputPortServer] = {}
+        self._links: Dict[str, AtmLink] = {}
+
+    def attach_link(self, link: AtmLink) -> OutputPortServer:
+        """Attach an outgoing link; creates and returns its output port."""
+        if link.link_id in self._ports:
+            raise TopologyError(
+                f"switch {self.switch_id}: link {link.link_id} already attached"
+            )
+        port = OutputPortServer(
+            link,
+            port_latency=self._port_latency,
+            buffer_bits=self._port_buffer_bits,
+            name=f"{self.switch_id}:{link.link_id}",
+        )
+        self._ports[link.link_id] = port
+        self._links[link.link_id] = link
+        return port
+
+    def port(self, link_id: str) -> OutputPortServer:
+        """The output port feeding ``link_id``."""
+        try:
+            return self._ports[link_id]
+        except KeyError:
+            raise TopologyError(
+                f"switch {self.switch_id} has no port for link {link_id!r}"
+            ) from None
+
+    def link(self, link_id: str) -> AtmLink:
+        """The attached link ``link_id``."""
+        try:
+            return self._links[link_id]
+        except KeyError:
+            raise TopologyError(
+                f"switch {self.switch_id} has no link {link_id!r}"
+            ) from None
+
+    @property
+    def ports(self) -> Dict[str, OutputPortServer]:
+        """All output ports, keyed by link id (read-only view by convention)."""
+        return self._ports
+
+    def __repr__(self) -> str:
+        return f"AtmSwitch({self.switch_id!r}, {len(self._ports)} ports)"

@@ -1,0 +1,179 @@
+"""ATM virtual-circuit management.
+
+"Connection-oriented" service over ATM means every admitted connection owns
+a switched virtual circuit: a VPI/VCI label allocated on *every* directed
+link of its backbone path, plus translation entries in each switch's VC
+table.  The CAC decides *whether* a connection may enter; this module does
+the label bookkeeping that makes the connection real — and enforces the
+hardware's finite label space (a mid-90s switch supported a few thousand
+VCs per port).
+
+The manager is deliberately independent of the admission controller: setup
+happens after a positive CAC decision, teardown after release, and a label
+shortage is just one more admission-failure mode
+(:class:`VcExhaustedError`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError, TopologyError
+from repro.network.routing import Route
+from repro.network.topology import NetworkTopology
+
+
+class VcExhaustedError(ReproError):
+    """A link's VCI space is fully allocated."""
+
+
+@dataclasses.dataclass(frozen=True)
+class VcHop:
+    """One hop of a virtual circuit: a directed link and its VCI label."""
+
+    link_id: str
+    vci: int
+
+
+@dataclasses.dataclass(frozen=True)
+class VirtualCircuit:
+    """The label chain of one connection across the backbone."""
+
+    conn_id: str
+    hops: Tuple[VcHop, ...]
+
+    @property
+    def path_links(self) -> List[str]:
+        return [hop.link_id for hop in self.hops]
+
+
+class _LinkLabelSpace:
+    """VCI allocator for one directed link (smallest-free-label policy)."""
+
+    def __init__(self, capacity: int, first_vci: int):
+        self.capacity = capacity
+        self.first_vci = first_vci
+        self._in_use: Dict[int, str] = {}
+
+    def allocate(self, conn_id: str) -> int:
+        if len(self._in_use) >= self.capacity:
+            raise VcExhaustedError("no free VCI on link")
+        vci = self.first_vci
+        while vci in self._in_use:
+            vci += 1
+        self._in_use[vci] = conn_id
+        return vci
+
+    def release(self, vci: int) -> None:
+        self._in_use.pop(vci, None)
+
+    @property
+    def used(self) -> int:
+        return len(self._in_use)
+
+
+class VirtualCircuitManager:
+    """Allocates and tears down VCs over a topology's backbone links.
+
+    Parameters
+    ----------
+    topology:
+        The network; VC label spaces are created lazily per directed link.
+    vcis_per_link:
+        Label capacity of each link (the switch-port VC table size).
+    first_vci:
+        Lowest assignable VCI (0-31 are reserved by the ATM standard).
+    """
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        vcis_per_link: int = 4096,
+        first_vci: int = 32,
+    ):
+        if vcis_per_link <= 0:
+            raise TopologyError("need a positive VC capacity")
+        if first_vci < 0:
+            raise TopologyError("first VCI must be non-negative")
+        self.topology = topology
+        self.vcis_per_link = int(vcis_per_link)
+        self.first_vci = int(first_vci)
+        self._spaces: Dict[str, _LinkLabelSpace] = {}
+        self._circuits: Dict[str, VirtualCircuit] = {}
+
+    # ------------------------------------------------------------------
+
+    def _space(self, link_id: str) -> _LinkLabelSpace:
+        if link_id not in self._spaces:
+            self._spaces[link_id] = _LinkLabelSpace(
+                self.vcis_per_link, self.first_vci
+            )
+        return self._spaces[link_id]
+
+    def _route_links(self, route: Route) -> List[str]:
+        """Every directed ATM link the route traverses, in order."""
+        if not route.crosses_backbone:
+            return []
+        topo = self.topology
+        links = [topo.devices[route.source_device].uplink.link_id]
+        path = route.switch_path
+        for a, b in zip(path, path[1:]):
+            links.append(topo.switch_link(a, b).link_id)
+        links.append(topo.downlink(path[-1], route.dest_device).link_id)
+        return links
+
+    def setup(self, conn_id: str, route: Route) -> VirtualCircuit:
+        """Allocate a VCI on every link of ``route`` (all-or-nothing).
+
+        Raises :class:`VcExhaustedError` (after rolling back any partial
+        allocation) when some link has no free label.
+        """
+        if conn_id in self._circuits:
+            raise TopologyError(f"{conn_id!r} already has a circuit")
+        hops: List[VcHop] = []
+        try:
+            for link_id in self._route_links(route):
+                vci = self._space(link_id).allocate(conn_id)
+                hops.append(VcHop(link_id=link_id, vci=vci))
+        except VcExhaustedError:
+            for hop in hops:
+                self._space(hop.link_id).release(hop.vci)
+            raise VcExhaustedError(
+                f"VC setup for {conn_id!r} failed: label space exhausted"
+            ) from None
+        circuit = VirtualCircuit(conn_id=conn_id, hops=tuple(hops))
+        self._circuits[conn_id] = circuit
+        return circuit
+
+    def teardown(self, conn_id: str) -> VirtualCircuit:
+        """Release every label of ``conn_id``'s circuit."""
+        if conn_id not in self._circuits:
+            raise TopologyError(f"{conn_id!r} has no circuit")
+        circuit = self._circuits.pop(conn_id)
+        for hop in circuit.hops:
+            self._space(hop.link_id).release(hop.vci)
+        return circuit
+
+    def circuit_of(self, conn_id: str) -> Optional[VirtualCircuit]:
+        return self._circuits.get(conn_id)
+
+    def labels_in_use(self, link_id: str) -> int:
+        return self._space(link_id).used
+
+    def translation_table(self, switch_id: str) -> List[Tuple[int, str, int, str]]:
+        """The switch's VC table: (in-VCI, in-link, out-VCI, out-link) rows.
+
+        Built from the circuits that traverse ``switch_id``: the hop whose
+        link *enters* the switch pairs with the hop that *leaves* it.
+        """
+        rows: List[Tuple[int, str, int, str]] = []
+        for circuit in self._circuits.values():
+            hops = circuit.hops
+            for prev, nxt in zip(hops, hops[1:]):
+                # prev's link ends at the switch nxt's link leaves from.
+                if prev.link_id.endswith(f"->{switch_id}") and nxt.link_id.startswith(
+                    f"{switch_id}->"
+                ):
+                    rows.append((prev.vci, prev.link_id, nxt.vci, nxt.link_id))
+        return sorted(rows)

@@ -1,0 +1,95 @@
+"""Buffer dimensioning for an admitted connection set.
+
+The paper folds buffer feasibility into the delay analysis ("the buffer
+space has been implicitly taken into account during the computation of the
+worst case delays", Section 5.1): Theorem 1 returns an infinite delay when
+the MAC backlog ``F`` exceeds the buffer ``S``, and the output-port
+analysis does the same for port buffers.
+
+This module turns the same quantities into a *provisioning* answer: given a
+network state, how much buffer must each MAC queue and each ATM output port
+actually have for the admitted set to be safe?  Operators use it to size
+interface-device memory; the tests use it to cross-check the implicit
+feasibility conditions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import AnalysisConfig, NetworkConfig
+from repro.core.delay import ConnectionLoad, DelayAnalyzer
+from repro.network.topology import NetworkTopology
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferPlan:
+    """Worst-case buffer requirements (bits) for one network state."""
+
+    #: MAC transmit queues, keyed by the hop name (includes the conn id).
+    mac_buffers: Dict[str, float]
+    #: ATM output ports (shared), keyed by port name.
+    port_buffers: Dict[str, float]
+    #: Frame (dis)assembly staging at the interface devices.
+    conversion_buffers: Dict[str, float]
+
+    @property
+    def total_bits(self) -> float:
+        return (
+            sum(self.mac_buffers.values())
+            + sum(self.port_buffers.values())
+            + sum(self.conversion_buffers.values())
+        )
+
+    def worst_port(self) -> Optional[Tuple[str, float]]:
+        """The most demanding output port, or None if no port is used."""
+        if not self.port_buffers:
+            return None
+        name = max(self.port_buffers, key=self.port_buffers.get)
+        return name, self.port_buffers[name]
+
+    def format_report(self) -> str:
+        lines: List[str] = ["Buffer dimensioning report (worst case, bits)"]
+        lines.append("  MAC transmit queues:")
+        for name, bits in sorted(self.mac_buffers.items()):
+            lines.append(f"    {name:44s} {bits:12,.0f}")
+        lines.append("  ATM output ports (aggregate):")
+        for name, bits in sorted(self.port_buffers.items()):
+            lines.append(f"    {name:44s} {bits:12,.0f}")
+        lines.append("  Frame conversion staging:")
+        for name, bits in sorted(self.conversion_buffers.items()):
+            lines.append(f"    {name:44s} {bits:12,.0f}")
+        lines.append(f"  TOTAL: {self.total_bits:,.0f} bits")
+        return "\n".join(lines)
+
+
+def dimension_buffers(
+    topology: NetworkTopology,
+    loads: Sequence[ConnectionLoad],
+    network_config: Optional[NetworkConfig] = None,
+    analysis_config: Optional[AnalysisConfig] = None,
+    analyzer: Optional[DelayAnalyzer] = None,
+) -> BufferPlan:
+    """Compute the buffer requirements for ``loads`` on ``topology``.
+
+    MAC and conversion figures come from the per-connection dedicated-stage
+    backlogs; port figures from the shared aggregate busy-period analysis.
+    """
+    if analyzer is None:
+        analyzer = DelayAnalyzer(topology, network_config, analysis_config)
+    reports, usage = analyzer.compute_with_resources(loads)
+
+    mac: Dict[str, float] = {}
+    conversion: Dict[str, float] = {}
+    for report in reports.values():
+        for name, backlog in report.per_hop_backlog:
+            if name.startswith("fddi-mac"):
+                mac[name] = max(mac.get(name, 0.0), backlog)
+            elif "frame-cell" in name or "cell-frame" in name:
+                conversion[name] = max(conversion.get(name, 0.0), backlog)
+    return BufferPlan(
+        mac_buffers=mac,
+        port_buffers=dict(usage.port_backlogs),
+        conversion_buffers=conversion,
+    )

@@ -1,0 +1,247 @@
+"""The connection admission control algorithm of Section 5.3.
+
+Upon a request, the controller:
+
+1. computes the maximum available synchronous bandwidths
+   ``(H_S^max_avai, H_R^max_avai)`` from the two rings' ledgers (Eqs. 26/27);
+2. rejects immediately if even the maximum allocation cannot satisfy every
+   deadline — requesting *and* existing connections (Eqs. 24/25, Theorem 4);
+3. binary-searches the allocation segment for the minimum needed allocation
+   ``(H^min_need)`` (Step 3) and the maximum useful allocation
+   ``(H^max_need)`` — the smallest point whose delays already equal those at
+   the maximum available allocation (Eqs. 31-33, Step 4);
+4. grants ``H = H^min_need + beta * (H^max_need - H^min_need)`` (Eqs. 35/36)
+   and records the allocation on both rings.
+
+The actual choice of point is delegated to an
+:class:`repro.core.policies.AllocationPolicy` so baselines can share all the
+surrounding machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import CACConfig, NetworkConfig
+from repro.core.delay import ConnectionLoad, DelayAnalyzer, DelayReport
+from repro.core.policies import AllocationContext, AllocationPolicy, BetaPolicy
+from repro.errors import (
+    BufferOverflowError,
+    ConfigurationError,
+    UnstableSystemError,
+)
+from repro.fddi.timed_token import min_sync_allocation
+from repro.network.connection import ConnectionRecord, ConnectionSpec
+from repro.network.routing import compute_route
+from repro.network.topology import NetworkTopology
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionResult:
+    """The outcome of one admission request."""
+
+    admitted: bool
+    reason: str
+    record: Optional[ConnectionRecord] = None
+    #: Diagnostics (populated when the searches ran).
+    h_min_need: Optional[Tuple[float, float]] = None
+    h_max_need: Optional[Tuple[float, float]] = None
+    h_max_avail: Optional[Tuple[float, float]] = None
+    delay_bound: Optional[float] = None
+
+
+class AdmissionController:
+    """Stateful CAC over one network: admits, tracks and releases connections."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        network_config: Optional[NetworkConfig] = None,
+        cac_config: Optional[CACConfig] = None,
+        policy: Optional[AllocationPolicy] = None,
+    ):
+        self.topology = topology
+        self.network_config = network_config or NetworkConfig()
+        self.config = cac_config or CACConfig()
+        self.policy = policy if policy is not None else BetaPolicy(self.config.beta)
+        self.analyzer = DelayAnalyzer(
+            topology, self.network_config, self.config.analysis
+        )
+        self.connections: Dict[str, ConnectionRecord] = {}
+        #: Running counters for admission-probability measurements.
+        self.n_requests = 0
+        self.n_admitted = 0
+        #: Audit trail of every decision, newest last (bounded length).
+        self.history: List[Tuple[str, AdmissionResult]] = []
+        self.history_limit = 10_000
+
+    # ------------------------------------------------------------------
+    # Delay evaluation helpers
+    # ------------------------------------------------------------------
+
+    def _loads_with(
+        self, candidate: Optional[ConnectionLoad]
+    ) -> List[ConnectionLoad]:
+        loads = [
+            ConnectionLoad(rec.spec, rec.route, rec.h_source, rec.h_dest)
+            for rec in self.connections.values()
+        ]
+        if candidate is not None:
+            loads.append(candidate)
+        return loads
+
+    def evaluate(
+        self, candidate: Optional[ConnectionLoad]
+    ) -> Optional[Dict[str, DelayReport]]:
+        """Delays of all connections (plus ``candidate``), or None if any
+        stage is unstable / overflows a buffer (infinite worst-case delay)."""
+        try:
+            return self.analyzer.compute(self._loads_with(candidate))
+        except (UnstableSystemError, BufferOverflowError):
+            return None
+
+    def _deadline_of(self, conn_id: str, candidate: Optional[ConnectionLoad]):
+        if candidate is not None and conn_id == candidate.spec.conn_id:
+            return candidate.spec.deadline
+        return self.connections[conn_id].spec.deadline
+
+    def check_feasible(
+        self, candidate: ConnectionLoad
+    ) -> Optional[Dict[str, DelayReport]]:
+        """Eqs. (24)/(25): every delay within its deadline, or None."""
+        reports = self.evaluate(candidate)
+        if reports is None:
+            return None
+        for conn_id, report in reports.items():
+            if report.total_delay > self._deadline_of(conn_id, candidate) + 1e-12:
+                return None
+        return reports
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def request(self, spec: ConnectionSpec) -> AdmissionResult:
+        """Run the CAC for ``spec``; on success the allocation is recorded.
+
+        Every decision (admitted or not) is appended to :attr:`history`.
+        """
+        result = self._decide(spec)
+        self.history.append((spec.conn_id, result))
+        if len(self.history) > self.history_limit:
+            del self.history[: len(self.history) // 2]
+        return result
+
+    def _decide(self, spec: ConnectionSpec) -> AdmissionResult:
+        self.n_requests += 1
+        if spec.conn_id in self.connections:
+            raise ConfigurationError(f"connection {spec.conn_id!r} already active")
+        route = compute_route(self.topology, spec.source_host, spec.dest_host)
+        ring_s = self.topology.rings[route.source_ring]
+        ring_r = self.topology.rings[route.dest_ring]
+        local = not route.crosses_backbone
+
+        h_min_abs_s = min_sync_allocation(ring_s.bandwidth)
+        h_min_abs_r = 0.0 if local else min_sync_allocation(ring_r.bandwidth)
+        h_max_s = ring_s.available_sync_time
+        h_max_r = 0.0 if local else ring_r.available_sync_time
+
+        if h_max_s < h_min_abs_s or (not local and h_max_r < h_min_abs_r):
+            return AdmissionResult(
+                admitted=False,
+                reason="no synchronous bandwidth available",
+                h_max_avail=(h_max_s, h_max_r),
+            )
+
+        def load_at(h_s: float, h_r: float) -> ConnectionLoad:
+            return ConnectionLoad(spec, route, h_s, h_r)
+
+        # Step 2: feasibility at the maximum available allocation.
+        reports_at_max = self.check_feasible(load_at(h_max_s, h_max_r))
+        if reports_at_max is None:
+            return AdmissionResult(
+                admitted=False,
+                reason="infeasible even at maximum available allocation",
+                h_max_avail=(h_max_s, h_max_r),
+            )
+
+        probe_cache: Dict[Tuple[float, float], object] = {}
+
+        def probe(hs: float, hr: float):
+            key = (round(hs, 10), round(hr, 10))
+            if key not in probe_cache:
+                probe_cache[key] = self.check_feasible(load_at(hs, hr))
+            return probe_cache[key]
+
+        ctx = AllocationContext(
+            h_min_abs=(h_min_abs_s, h_min_abs_r),
+            h_max_avail=(h_max_s, h_max_r),
+            local=local,
+            check_feasible=probe,
+            reports_at_max=reports_at_max,
+            config=self.config,
+            long_term_rate=spec.traffic.long_term_rate,
+            ring_bandwidth=ring_s.bandwidth,
+            ttrt=ring_s.ttrt,
+        )
+        choice = self.policy.select(ctx)
+        if choice is None:
+            return AdmissionResult(
+                admitted=False,
+                reason="allocation policy found no acceptable point",
+                h_max_avail=(h_max_s, h_max_r),
+            )
+        (h_s, h_r), reports = choice
+
+        record = ConnectionRecord(
+            spec=spec,
+            route=route,
+            h_source=h_s,
+            h_dest=h_r,
+            delay_bound=reports[spec.conn_id].total_delay,
+        )
+        ring_s.allocate(spec.conn_id, h_s)
+        if not local:
+            ring_r.allocate(spec.conn_id, h_r)
+        self.connections[spec.conn_id] = record
+        # Refresh every existing record's bound under the new load.
+        for conn_id, report in reports.items():
+            self.connections[conn_id].delay_bound = report.total_delay
+        self.n_admitted += 1
+        return AdmissionResult(
+            admitted=True,
+            reason="admitted",
+            record=record,
+            h_min_need=ctx.observed_min_need,
+            h_max_need=ctx.observed_max_need,
+            h_max_avail=(h_max_s, h_max_r),
+            delay_bound=record.delay_bound,
+        )
+
+    def release(self, conn_id: str) -> ConnectionRecord:
+        """Tear down a connection and free its synchronous bandwidth."""
+        if conn_id not in self.connections:
+            raise ConfigurationError(f"unknown connection {conn_id!r}")
+        record = self.connections.pop(conn_id)
+        self.topology.rings[record.route.source_ring].release(conn_id)
+        if record.route.crosses_backbone:
+            self.topology.rings[record.route.dest_ring].release(conn_id)
+        return record
+
+    @property
+    def admission_probability(self) -> float:
+        """Admitted / requested so far (the paper's AP metric)."""
+        if self.n_requests == 0:
+            return float("nan")
+        return self.n_admitted / self.n_requests
+
+    def current_delays(self) -> Dict[str, float]:
+        """Worst-case delay bound of every active connection right now."""
+        reports = self.evaluate(None)
+        if reports is None:
+            raise UnstableSystemError(
+                "current connection set has no finite delay bound"
+            )
+        return {cid: r.total_delay for cid, r in reports.items()}

@@ -1,0 +1,507 @@
+"""The decomposition delay engine (Section 4, Eq. 7).
+
+Given the network topology and the set of connections with their
+synchronous-bandwidth allocations, the engine:
+
+1. builds each connection's server chain (FDDI MAC -> delay line -> ID_S
+   stages -> ATM ports -> ID_R stages -> destination MAC -> delay line);
+2. propagates traffic envelopes stage by stage.  Dedicated stages advance
+   independently; a *shared* stage (an ATM output port) is analyzed exactly
+   once, when every connection traversing it has delivered its envelope at
+   the port entrance (feed-forward order, discovered by a worklist);
+3. sums per-stage worst-case delays into the end-to-end bound of Eq. (7).
+
+Any stage may raise :class:`UnstableSystemError` or
+:class:`BufferOverflowError`; callers (the CAC) treat these as "worst-case
+delay is infinite" — automatic infeasibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import AnalysisConfig, NetworkConfig
+from repro.envelopes.curve import Curve
+from repro.errors import CyclicDependencyError, TopologyError
+from repro.fddi.mac_server import FDDIMacServer
+from repro.interface_device.cell_frame import CellFrameConversionServer
+from repro.interface_device.frame_cell import FrameCellConversionServer
+from repro.network.connection import ConnectionSpec
+from repro.network.routing import Route
+from repro.network.topology import NetworkTopology
+from repro.atm.output_port import OutputPortServer
+from repro.servers.base import DedicatedServer
+from repro.servers.constant import ConstantDelayServer
+
+
+@dataclasses.dataclass(frozen=True)
+class DedicatedStage:
+    name: str
+    server: DedicatedServer
+
+
+@dataclasses.dataclass(frozen=True)
+class SharedStage:
+    name: str
+    port: OutputPortServer
+
+
+Stage = Union[DedicatedStage, SharedStage]
+
+
+@dataclasses.dataclass(frozen=True)
+class RegulatorSpec:
+    """Optional ingress shaping contract (ref [15]): release at most
+    ``sigma + rho * t`` bits (capped at ``peak``) into the ATM backbone."""
+
+    sigma: float
+    rho: float
+    peak: float = float("inf")
+
+
+@dataclasses.dataclass(frozen=True)
+class ConnectionLoad:
+    """One connection as the delay engine sees it: spec + route + grants."""
+
+    spec: ConnectionSpec
+    route: Route
+    h_source: float
+    h_dest: float
+    #: When set, a greedy shaper is inserted at the sending interface device
+    #: (after frame->cell conversion, before the ATM output port).
+    regulator: Optional[RegulatorSpec] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class DelayReport:
+    """Per-connection analysis result."""
+
+    conn_id: str
+    total_delay: float
+    per_hop: Tuple[Tuple[str, float], ...]
+    output: Curve
+    #: Worst-case backlog contributed at each *dedicated* hop (bits); shared
+    #: ports report an aggregate backlog via ResourceUsage instead.
+    per_hop_backlog: Tuple[Tuple[str, float], ...] = ()
+
+    def hop_delay(self, name_fragment: str) -> float:
+        """Sum of delays at hops whose name contains ``name_fragment``."""
+        return sum(d for n, d in self.per_hop if name_fragment in n)
+
+    def hop_backlog(self, name_fragment: str) -> float:
+        """Max backlog among dedicated hops matching ``name_fragment``."""
+        matches = [b for n, b in self.per_hop_backlog if name_fragment in n]
+        return max(matches, default=0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceUsage:
+    """Aggregate, per-resource figures from one delay computation."""
+
+    #: Worst-case aggregate backlog at each shared output port (bits).
+    port_backlogs: Dict[str, float]
+    #: Busy interval of each shared output port (seconds).
+    port_busy_intervals: Dict[str, float]
+    #: FIFO delay bound at each shared output port (seconds).
+    port_delays: Dict[str, float]
+    #: Per-port entry envelopes: port name -> {conn_id -> envelope at the
+    #: port's entrance}.  Consumed by the concatenation analysis.
+    port_inputs: Dict[str, Dict[str, Curve]] = dataclasses.field(
+        default_factory=dict
+    )
+
+
+class DelayAnalyzer:
+    """Builds server chains and computes worst-case end-to-end delays."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        network_config: Optional[NetworkConfig] = None,
+        analysis_config: Optional[AnalysisConfig] = None,
+    ):
+        self.topology = topology
+        self.network_config = network_config or NetworkConfig()
+        self.analysis = analysis_config or AnalysisConfig()
+        #: Cache of dedicated-stage analyses keyed by (server key, envelope
+        #: fingerprint) — hit heavily by binary-search probes, where most
+        #: connections' upstream stages are unchanged.
+        self._stage_cache: Dict[tuple, object] = {}
+        self._stage_cache_limit = 20_000
+        #: Cache of source envelopes keyed by the traffic descriptor.
+        self._envelope_cache: Dict[object, Curve] = {}
+
+    # ------------------------------------------------------------------
+    # Stage construction
+    # ------------------------------------------------------------------
+
+    def frame_bits_for(self, sync_time: float) -> float:
+        """The frame size ``F_S = H * BW`` capped by the FDDI maximum."""
+        raw = sync_time * self.network_config.fddi_bandwidth
+        return max(1.0, min(raw, self.network_config.max_frame_bits))
+
+    def build_stages(self, load: ConnectionLoad) -> List[Stage]:
+        """The ordered server chain for one connection."""
+        topo = self.topology
+        cfg = self.network_config
+        route = load.route
+        ring_s = topo.rings[route.source_ring]
+        stages: List[Stage] = [
+            DedicatedStage(
+                f"fddi-mac:{route.source_ring}:{load.spec.conn_id}",
+                FDDIMacServer(
+                    load.h_source,
+                    ring_s.ttrt,
+                    ring_s.bandwidth,
+                    buffer_bits=cfg.mac_buffer_bits,
+                    name=f"mac-src:{load.spec.conn_id}",
+                ),
+            ),
+            DedicatedStage(
+                f"delay-line:{route.source_ring}",
+                ConstantDelayServer(ring_s.propagation_delay, name="delay-line-src"),
+            ),
+        ]
+        if not route.crosses_backbone:
+            return stages
+
+        src_dev = topo.devices[route.source_device]
+        dst_dev = topo.devices[route.dest_device]
+        frame_bits_src = self.frame_bits_for(load.h_source)
+        frame_bits_dst = self.frame_bits_for(load.h_dest)
+        horizon = self.analysis.envelope_horizon
+
+        stages += [
+            DedicatedStage(f"{src_dev.device_id}:input-port", src_dev.input_port_server()),
+            DedicatedStage(f"{src_dev.device_id}:frame-switch", src_dev.frame_switch_server()),
+            DedicatedStage(
+                f"{src_dev.device_id}:frame-cell",
+                FrameCellConversionServer(
+                    frame_bits_src,
+                    processing_delay=src_dev.frame_processing_delay,
+                    horizon=horizon,
+                ),
+            ),
+        ]
+        if load.regulator is not None:
+            from repro.servers.regulator import RegulatorServer
+
+            stages.append(
+                DedicatedStage(
+                    f"{src_dev.device_id}:regulator:{load.spec.conn_id}",
+                    RegulatorServer(
+                        load.regulator.sigma,
+                        load.regulator.rho,
+                        peak=load.regulator.peak,
+                        name=f"regulator:{load.spec.conn_id}",
+                    ),
+                )
+            )
+        stages += [
+            SharedStage(src_dev.uplink_port.name, src_dev.uplink_port),
+            DedicatedStage(
+                f"prop:{src_dev.uplink.link_id}",
+                ConstantDelayServer(src_dev.uplink.propagation_delay, name="prop-uplink"),
+            ),
+        ]
+
+        path = route.switch_path
+        for idx, switch_id in enumerate(path):
+            switch = topo.switches[switch_id]
+            stages.append(
+                DedicatedStage(
+                    f"fabric:{switch_id}",
+                    ConstantDelayServer(switch.fabric_delay, name=f"fabric:{switch_id}"),
+                )
+            )
+            if idx + 1 < len(path):
+                nxt = path[idx + 1]
+                port = topo.switch_port(switch_id, nxt)
+                link = topo.switch_link(switch_id, nxt)
+                stages.append(SharedStage(port.name, port))
+                stages.append(
+                    DedicatedStage(
+                        f"prop:{link.link_id}",
+                        ConstantDelayServer(link.propagation_delay, name="prop"),
+                    )
+                )
+            else:
+                port = topo.downlink_port(switch_id, dst_dev.device_id)
+                link = topo.downlink(switch_id, dst_dev.device_id)
+                stages.append(SharedStage(port.name, port))
+                stages.append(
+                    DedicatedStage(
+                        f"prop:{link.link_id}",
+                        ConstantDelayServer(link.propagation_delay, name="prop-downlink"),
+                    )
+                )
+
+        ring_r = topo.rings[route.dest_ring]
+        stages += [
+            DedicatedStage(f"{dst_dev.device_id}:input-port", dst_dev.input_port_server()),
+            DedicatedStage(
+                f"{dst_dev.device_id}:cell-frame",
+                CellFrameConversionServer(
+                    frame_bits_dst,
+                    processing_delay=dst_dev.frame_processing_delay,
+                    horizon=horizon,
+                ),
+            ),
+            DedicatedStage(f"{dst_dev.device_id}:frame-switch", dst_dev.frame_switch_server()),
+            DedicatedStage(
+                f"fddi-mac:{route.dest_ring}:{load.spec.conn_id}",
+                FDDIMacServer(
+                    load.h_dest,
+                    ring_r.ttrt,
+                    ring_r.bandwidth,
+                    buffer_bits=cfg.mac_buffer_bits,
+                    name=f"mac-dst:{load.spec.conn_id}",
+                ),
+            ),
+            DedicatedStage(
+                f"delay-line:{route.dest_ring}",
+                ConstantDelayServer(ring_r.propagation_delay, name="delay-line-dst"),
+            ),
+        ]
+        return stages
+
+    # ------------------------------------------------------------------
+    # Envelope propagation
+    # ------------------------------------------------------------------
+
+    def source_envelope(self, spec: ConnectionSpec) -> Curve:
+        """The connection's envelope at the entrance of its source MAC."""
+        cached = self._envelope_cache.get(spec.traffic)
+        if cached is None:
+            cached = spec.traffic.envelope(self.analysis.envelope_horizon)
+            try:
+                self._envelope_cache[spec.traffic] = cached
+            except TypeError:
+                pass  # unhashable descriptor: skip caching
+        return cached
+
+    def _tidy(self, envelope: Curve) -> Curve:
+        envelope = envelope.simplify()
+        if len(envelope.xs) > self.analysis.max_envelope_segments:
+            envelope = envelope.coarsen(self.analysis.max_envelope_segments)
+        return envelope
+
+    def _analyze_dedicated(self, stage: DedicatedStage, conn, envelope: Curve):
+        server = stage.server
+        skey = server.cache_key()
+        if skey is None:
+            return server.analyze(envelope)
+        key = (skey, envelope.fingerprint())
+        hit = self._stage_cache.get(key)
+        if hit is not None:
+            return hit
+        result = server.analyze(envelope)
+        if len(self._stage_cache) > self._stage_cache_limit:
+            self._stage_cache.clear()
+        self._stage_cache[key] = result
+        return result
+
+    def _analyze_port_cached(self, port, envelopes: Dict[int, Curve]):
+        """Memoized FIFO-port analysis.
+
+        Two calls with the same port and the same multiset of participant
+        envelopes produce identical results, and identical envelopes get
+        identical outputs — so the cache stores outputs keyed by envelope
+        fingerprint.
+        """
+        fps = {key: env.fingerprint() for key, env in envelopes.items()}
+        cache_key = (port.name, tuple(sorted(fps.values())))
+        hit = self._stage_cache.get(cache_key)
+        if hit is None:
+            delay, backlog, busy, outputs = _analyze_port(
+                port, envelopes, delay_quantum=self.analysis.output_delay_quantum
+            )
+            by_fp = {fps[key]: out for key, out in outputs.items()}
+            if len(self._stage_cache) > self._stage_cache_limit:
+                self._stage_cache.clear()
+            self._stage_cache[cache_key] = (delay, backlog, busy, by_fp)
+        else:
+            delay, backlog, busy, by_fp = hit
+        outputs = {key: by_fp[fp] for key, fp in fps.items()}
+        return delay, backlog, busy, outputs
+
+    def compute(self, loads: Sequence[ConnectionLoad]) -> Dict[str, DelayReport]:
+        """Worst-case end-to-end delay of every connection in ``loads``.
+
+        Raises the analysis errors of the individual servers, or
+        :class:`CyclicDependencyError` when the shared-port dependency graph
+        is not feed-forward.
+        """
+        reports, _ = self.compute_with_resources(loads)
+        return reports
+
+    def compute_with_resources(
+        self, loads: Sequence[ConnectionLoad]
+    ) -> Tuple[Dict[str, DelayReport], ResourceUsage]:
+        """Like :meth:`compute`, also returning per-resource usage figures
+        (port backlogs/busy intervals) needed for buffer dimensioning."""
+        states = []
+        for load in loads:
+            stages = self.build_stages(load)
+            states.append(
+                _ConnState(
+                    load=load,
+                    stages=stages,
+                    envelope=self.source_envelope(load.spec),
+                )
+            )
+        # Which connections traverse each shared port?
+        traversers: Dict[str, List[_ConnState]] = {}
+        for st in states:
+            for stage in st.stages:
+                if isinstance(stage, SharedStage):
+                    traversers.setdefault(stage.port.name, []).append(st)
+
+        port_backlogs: Dict[str, float] = {}
+        port_busy: Dict[str, float] = {}
+        port_delays: Dict[str, float] = {}
+        port_inputs: Dict[str, Dict[str, Curve]] = {}
+
+        def advance_dedicated(st: "_ConnState") -> bool:
+            moved = False
+            while st.idx < len(st.stages) and isinstance(
+                st.stages[st.idx], DedicatedStage
+            ):
+                stage = st.stages[st.idx]
+                result = self._analyze_dedicated(stage, st.load, st.envelope)
+                st.total += result.delay_bound
+                st.hops.append((stage.name, result.delay_bound))
+                st.hop_backlogs.append((stage.name, result.backlog_bound))
+                st.envelope = self._tidy(result.output)
+                st.idx += 1
+                moved = True
+            return moved
+
+        pending = set(range(len(states)))
+        while pending:
+            progress = False
+            for i in list(pending):
+                st = states[i]
+                if advance_dedicated(st):
+                    progress = True
+                if st.idx >= len(st.stages):
+                    pending.discard(i)
+            # Analyze every shared port whose traversers have all arrived.
+            ports_ready: Dict[str, SharedStage] = {}
+            for i in pending:
+                st = states[i]
+                if st.idx < len(st.stages):
+                    stage = st.stages[st.idx]
+                    if isinstance(stage, SharedStage):
+                        group = traversers[stage.port.name]
+                        if all(
+                            g.idx < len(g.stages)
+                            and g.stages[g.idx] is not None
+                            and isinstance(g.stages[g.idx], SharedStage)
+                            and g.stages[g.idx].port.name == stage.port.name
+                            for g in group
+                        ):
+                            ports_ready[stage.port.name] = stage
+            for port_name, stage in ports_ready.items():
+                group = traversers[port_name]
+                envelopes = {id(g): g.envelope for g in group}
+                delay, backlog, busy, outputs = self._analyze_port_cached(
+                    stage.port, envelopes
+                )
+                port_backlogs[port_name] = backlog
+                port_busy[port_name] = busy
+                port_delays[port_name] = delay
+                port_inputs[port_name] = {
+                    g.load.spec.conn_id: g.envelope for g in group
+                }
+                for g in group:
+                    g.total += delay
+                    g.hops.append((stage.name, delay))
+                    g.envelope = self._tidy(outputs[id(g)])
+                    g.idx += 1
+                progress = True
+            if not progress and pending:
+                stuck = [states[i].load.spec.conn_id for i in pending]
+                raise CyclicDependencyError(
+                    "shared-port dependencies are not feed-forward; stuck "
+                    f"connections: {stuck}"
+                )
+
+        reports = {
+            st.load.spec.conn_id: DelayReport(
+                conn_id=st.load.spec.conn_id,
+                total_delay=st.total,
+                per_hop=tuple(st.hops),
+                output=st.envelope,
+                per_hop_backlog=tuple(st.hop_backlogs),
+            )
+            for st in states
+        }
+        usage = ResourceUsage(
+            port_backlogs=port_backlogs,
+            port_busy_intervals=port_busy,
+            port_delays=port_delays,
+            port_inputs=port_inputs,
+        )
+        return reports, usage
+
+
+@dataclasses.dataclass
+class _ConnState:
+    load: ConnectionLoad
+    stages: List[Stage]
+    envelope: Curve
+    idx: int = 0
+    total: float = 0.0
+    hops: List[Tuple[str, float]] = dataclasses.field(default_factory=list)
+    hop_backlogs: List[Tuple[str, float]] = dataclasses.field(default_factory=list)
+
+
+def _analyze_port(
+    port: OutputPortServer, envelopes: Dict[int, Curve], delay_quantum: float = 0.0
+):
+    """Analyze a FIFO port once for all its participants.
+
+    Returns ``(delay, backlog, busy_interval, outputs_by_key)``.  Every
+    participant shares the aggregate FIFO delay bound; each gets its own
+    output envelope (its input advanced by the delay — rounded up to
+    ``delay_quantum``, which is conservative — capped at link rate).
+    """
+    from repro.envelopes.curve import sum_curves
+    from repro.envelopes.operations import (
+        busy_interval,
+        horizontal_deviation,
+        vertical_deviation,
+    )
+    from repro.errors import BufferOverflowError, UnstableSystemError
+    import math
+
+    aggregate = sum_curves(envelopes.values())
+    service = port.service_curve()
+    if aggregate.final_slope > port.service_rate * (1 + 1e-12):
+        raise UnstableSystemError(
+            f"{port.name}: aggregate rate {aggregate.final_slope:.6g} b/s "
+            f"exceeds link payload rate {port.service_rate:.6g} b/s"
+        )
+    busy = busy_interval(aggregate, service)
+    if math.isinf(busy):
+        raise UnstableSystemError(f"{port.name}: unbounded busy period")
+    backlog = vertical_deviation(aggregate, service, t_max=busy)
+    if backlog > port.buffer_bits + 1e-9:
+        raise BufferOverflowError(
+            f"{port.name}: worst-case backlog {backlog:.6g} bits exceeds "
+            f"buffer {port.buffer_bits:.6g} bits"
+        )
+    delay = horizontal_deviation(aggregate, service, t_max=busy)
+    if math.isinf(delay):
+        raise UnstableSystemError(f"{port.name}: unbounded delay")
+    if delay_quantum > 0 and delay > 0:
+        shift = math.ceil(delay / delay_quantum - 1e-12) * delay_quantum
+    else:
+        shift = delay
+    cap = Curve.affine(0.0, port.service_rate)
+    outputs = {
+        key: env.shift_left(shift).minimum(cap) for key, env in envelopes.items()
+    }
+    return delay, backlog, busy, outputs

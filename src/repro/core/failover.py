@@ -1,0 +1,114 @@
+"""Fault tolerance: re-establishing connections after a backbone failure.
+
+Reference [4] of the paper (Chen, Kamat, Zhao) studies fault-tolerant
+real-time communication in FDDI networks; in the FDDI-ATM-FDDI setting the
+natural fault is a backbone link.  When one fails, every connection routed
+over it loses its path; the recovery procedure is:
+
+1. release the failed connections' resources (their synchronous bandwidth
+   stays valid, but the delay contract is void without a path);
+2. recompute routes over the surviving backbone;
+3. re-run the *full CAC* for each displaced connection on its new route —
+   a rerouted connection must not break the deadlines of the connections
+   that kept their paths.
+
+Some displaced connections may not be re-admittable (the alternate path is
+longer and shared with more traffic); the report says which survived.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cac import AdmissionController, AdmissionResult
+from repro.errors import TopologyError
+from repro.network.connection import ConnectionRecord, ConnectionSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class FailoverReport:
+    """Outcome of one link-failure recovery pass."""
+
+    failed_link: Tuple[str, str]
+    unaffected: List[str]
+    rerouted: List[str]
+    dropped: Dict[str, str]  # conn_id -> rejection reason
+
+    @property
+    def survival_rate(self) -> float:
+        total = len(self.rerouted) + len(self.dropped)
+        return len(self.rerouted) / total if total else 1.0
+
+    def format(self) -> str:
+        lines = [
+            f"Failover report for link {self.failed_link[0]}<->{self.failed_link[1]}:",
+            f"  unaffected: {len(self.unaffected)}",
+            f"  rerouted:   {len(self.rerouted)} {self.rerouted}",
+            f"  dropped:    {len(self.dropped)}",
+        ]
+        for cid, reason in sorted(self.dropped.items()):
+            lines.append(f"    {cid}: {reason}")
+        return "\n".join(lines)
+
+
+class FailoverManager:
+    """Coordinates link failures and connection re-establishment."""
+
+    def __init__(self, cac: AdmissionController):
+        self.cac = cac
+        self.topology = cac.topology
+
+    def _affected_connections(self, a: str, b: str) -> List[ConnectionRecord]:
+        affected = []
+        for rec in self.cac.connections.values():
+            path = rec.route.switch_path
+            for u, v in zip(path, path[1:]):
+                if (u, v) in ((a, b), (b, a)):
+                    affected.append(rec)
+                    break
+        return affected
+
+    def fail_link(self, a: str, b: str) -> FailoverReport:
+        """Fail ``a <-> b`` and try to re-admit every displaced connection.
+
+        Displaced connections are re-requested in ascending deadline order
+        (tightest contracts first — they have the least routing slack).
+        """
+        affected = self._affected_connections(a, b)
+        self.topology.fail_link(a, b)
+
+        # Tear down the displaced connections first so their bandwidth is
+        # available to the re-admission passes.
+        specs: List[ConnectionSpec] = []
+        for rec in affected:
+            self.cac.release(rec.conn_id)
+            specs.append(rec.spec)
+        specs.sort(key=lambda s: s.deadline)
+
+        rerouted: List[str] = []
+        dropped: Dict[str, str] = {}
+        for spec in specs:
+            try:
+                result: AdmissionResult = self.cac.request(spec)
+            except TopologyError as exc:
+                dropped[spec.conn_id] = f"no route: {exc}"
+                continue
+            if result.admitted:
+                rerouted.append(spec.conn_id)
+            else:
+                dropped[spec.conn_id] = result.reason
+        unaffected = [
+            cid for cid in self.cac.connections if cid not in rerouted
+        ]
+        return FailoverReport(
+            failed_link=(a, b),
+            unaffected=sorted(unaffected),
+            rerouted=rerouted,
+            dropped=dropped,
+        )
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Repair the link.  Existing connections keep their detour routes
+        (re-optimization is a policy decision left to the operator)."""
+        self.topology.restore_link(a, b)

@@ -1,0 +1,111 @@
+"""Preemptive admission: mission-critical requests may evict lesser ones.
+
+Hard real-time systems rank their traffic: a plant-safety loop outranks a
+monitoring video feed.  The paper's CAC is strictly first-come-first-served
+— once the rings fill, a critical late-comer is refused.  This extension
+wraps the controller with an importance order: when a request fails, the
+least-important cheaper connections are released (lowest rank first) and
+the request retried; if it still cannot be admitted, every preempted
+connection is re-established and the network returns to its prior state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.cac import AdmissionController, AdmissionResult
+from repro.errors import ConfigurationError
+from repro.network.connection import ConnectionSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class PreemptionResult:
+    """Outcome of a preemptive admission attempt."""
+
+    result: AdmissionResult
+    preempted: Tuple[str, ...] = ()
+    #: Connections that were released during the attempt and re-admitted
+    #: after it failed (diagnostics; normally equals the tried set).
+    restored: Tuple[str, ...] = ()
+
+    @property
+    def admitted(self) -> bool:
+        return self.result.admitted
+
+
+class PreemptiveAdmission:
+    """Importance-ranked admission on top of an :class:`AdmissionController`."""
+
+    def __init__(self, cac: AdmissionController):
+        self.cac = cac
+        #: conn_id -> importance (higher = more critical).
+        self._importance: Dict[str, float] = {}
+
+    def importance_of(self, conn_id: str) -> float:
+        return self._importance.get(conn_id, 0.0)
+
+    def request(
+        self,
+        spec: ConnectionSpec,
+        importance: float,
+        max_preemptions: int = 8,
+    ) -> PreemptionResult:
+        """Admit ``spec``, evicting strictly less important connections if
+        needed (at most ``max_preemptions`` of them).
+
+        The attempt is transactional: if even after evictions the request
+        fails, every evicted connection is re-admitted and the result
+        reports the failure with ``preempted = ()``.
+        """
+        if max_preemptions < 0:
+            raise ConfigurationError("max_preemptions must be non-negative")
+        first = self.cac.request(spec)
+        if first.admitted:
+            self._importance[spec.conn_id] = importance
+            return PreemptionResult(result=first)
+
+        # Candidates: strictly less important, least important first.
+        candidates = sorted(
+            (
+                cid
+                for cid in self.cac.connections
+                if self.importance_of(cid) < importance
+            ),
+            key=self.importance_of,
+        )[:max_preemptions]
+        if not candidates:
+            return PreemptionResult(result=first)
+
+        evicted: List[Tuple[str, ConnectionSpec]] = []
+        final: Optional[AdmissionResult] = None
+        for victim in candidates:
+            record = self.cac.release(victim)
+            evicted.append((victim, record.spec))
+            attempt = self.cac.request(spec)
+            if attempt.admitted:
+                final = attempt
+                break
+        if final is not None:
+            self._importance[spec.conn_id] = importance
+            for cid, _ in evicted:
+                self._importance.pop(cid, None)
+            return PreemptionResult(
+                result=final, preempted=tuple(cid for cid, _ in evicted)
+            )
+
+        # Roll back: the prior state was feasible, so re-admission of every
+        # victim must succeed (possibly with different grants).
+        restored: List[str] = []
+        for cid, victim_spec in reversed(evicted):
+            back = self.cac.request(victim_spec)
+            if back.admitted:
+                restored.append(cid)
+            else:  # pragma: no cover - would indicate a CAC soundness bug
+                self._importance.pop(cid, None)
+        return PreemptionResult(result=first, restored=tuple(restored))
+
+    def release(self, conn_id: str):
+        """Release a connection and forget its importance."""
+        self._importance.pop(conn_id, None)
+        return self.cac.release(conn_id)

@@ -1,0 +1,127 @@
+"""Human-readable reports over a live admission controller.
+
+Operators (and the examples) want one call that answers: what is admitted,
+what was granted, how tight is every connection, and how full is each ring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.cac import AdmissionController
+from repro.core.delay import ConnectionLoad
+
+
+@dataclasses.dataclass(frozen=True)
+class ConnectionStatus:
+    conn_id: str
+    source: str
+    destination: str
+    deadline: float
+    delay_bound: float
+    h_source: float
+    h_dest: float
+
+    @property
+    def slack(self) -> float:
+        return self.deadline - self.delay_bound
+
+    @property
+    def slack_fraction(self) -> float:
+        return self.slack / self.deadline if self.deadline else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RingStatus:
+    ring_id: str
+    ttrt: float
+    allocated: float
+    available: float
+
+    @property
+    def occupancy(self) -> float:
+        usable = self.allocated + self.available
+        return self.allocated / usable if usable > 0 else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkStateReport:
+    connections: List[ConnectionStatus]
+    rings: List[RingStatus]
+
+    @property
+    def tightest_connection(self) -> Optional[ConnectionStatus]:
+        if not self.connections:
+            return None
+        return min(self.connections, key=lambda c: c.slack)
+
+    @property
+    def busiest_ring(self) -> Optional[RingStatus]:
+        if not self.rings:
+            return None
+        return max(self.rings, key=lambda r: r.occupancy)
+
+    def format(self) -> str:
+        lines = ["Network state"]
+        lines.append("  Connections:")
+        if not self.connections:
+            lines.append("    (none)")
+        for c in sorted(self.connections, key=lambda c: c.conn_id):
+            lines.append(
+                f"    {c.conn_id:20s} {c.source}->{c.destination}  "
+                f"bound {c.delay_bound * 1e3:7.2f} ms / deadline "
+                f"{c.deadline * 1e3:6.1f} ms  (slack {c.slack_fraction:5.1%})  "
+                f"H=({c.h_source * 1e3:.3f}, {c.h_dest * 1e3:.3f}) ms"
+            )
+        lines.append("  Rings:")
+        for r in sorted(self.rings, key=lambda r: r.ring_id):
+            lines.append(
+                f"    {r.ring_id:8s} {r.occupancy:6.1%} of usable TTRT allocated "
+                f"({r.available * 1e3:.3f} ms free)"
+            )
+        return "\n".join(lines)
+
+
+def network_state(cac: AdmissionController, refresh: bool = True) -> NetworkStateReport:
+    """Snapshot ``cac``'s state.
+
+    With ``refresh`` (default) the worst-case delays are recomputed for the
+    current connection mix; otherwise the bounds recorded at admission time
+    are used.
+    """
+    delays: Dict[str, float]
+    if refresh and cac.connections:
+        loads = [
+            ConnectionLoad(r.spec, r.route, r.h_source, r.h_dest)
+            for r in cac.connections.values()
+        ]
+        delays = {
+            cid: rep.total_delay for cid, rep in cac.analyzer.compute(loads).items()
+        }
+    else:
+        delays = {
+            cid: rec.delay_bound for cid, rec in cac.connections.items()
+        }
+    connections = [
+        ConnectionStatus(
+            conn_id=cid,
+            source=rec.spec.source_host,
+            destination=rec.spec.dest_host,
+            deadline=rec.spec.deadline,
+            delay_bound=delays[cid],
+            h_source=rec.h_source,
+            h_dest=rec.h_dest,
+        )
+        for cid, rec in cac.connections.items()
+    ]
+    rings = [
+        RingStatus(
+            ring_id=ring.ring_id,
+            ttrt=ring.ttrt,
+            allocated=ring.allocated_sync_time,
+            available=ring.available_sync_time,
+        )
+        for ring in cac.topology.rings.values()
+    ]
+    return NetworkStateReport(connections=connections, rings=rings)

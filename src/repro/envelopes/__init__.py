@@ -1,0 +1,40 @@
+"""Piecewise-linear envelope algebra.
+
+This package is the numerical engine behind the delay analysis of Section 4
+of the paper.  Cumulative arrival envelopes ``A(I) = I * Gamma(I)`` (the
+maximum number of bits a connection may deliver in any interval of length
+``I``) and service availability staircases (e.g. the timed-token
+``avail(t)`` of Theorem 1) are both represented as non-decreasing,
+right-continuous piecewise-linear curves, and every quantity the paper needs
+— busy intervals, buffer bounds, worst-case delays, output envelopes — is an
+exact operation on such curves:
+
+* worst-case delay   = horizontal deviation  :func:`horizontal_deviation`
+* buffer requirement = vertical deviation    :func:`vertical_deviation`
+* busy interval      = first crossing        :func:`busy_interval`
+* output envelope    = capped deconvolution  :func:`deconvolve`
+"""
+
+from repro.envelopes.curve import Curve
+from repro.envelopes.operations import (
+    busy_interval,
+    deconvolve,
+    horizontal_deviation,
+    vertical_deviation,
+)
+from repro.envelopes.staircase import (
+    ceiling_quantize,
+    periodic_burst_staircase,
+    timed_token_staircase,
+)
+
+__all__ = [
+    "Curve",
+    "busy_interval",
+    "ceiling_quantize",
+    "deconvolve",
+    "horizontal_deviation",
+    "periodic_burst_staircase",
+    "timed_token_staircase",
+    "vertical_deviation",
+]

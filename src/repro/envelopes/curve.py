@@ -1,0 +1,491 @@
+"""The :class:`Curve` class: non-decreasing piecewise-linear curves.
+
+A curve is defined on ``[0, +inf)`` by a finite list of segments.  Segment
+``i`` starts at ``x[i]`` with value ``y[i]`` and slope ``slope[i]``; it ends
+where segment ``i + 1`` begins, and the final segment extends to infinity.
+Jump discontinuities are allowed (``y[i+1]`` may exceed the left limit of
+segment ``i``), and curves are *right-continuous*: ``curve(x[i]) == y[i]``.
+
+This representation is closed under every operation the delay analysis
+needs: addition, scalar multiplication, pointwise min/max, and time shifts
+all produce curves of the same class, computed exactly (no sampling grid).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CurveError
+
+#: Relative/absolute tolerance used when comparing coordinates.
+EPS = 1e-12
+
+
+def _is_close(a: float, b: float, tol: float = 1e-9) -> bool:
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+class Curve:
+    """A non-decreasing, right-continuous piecewise-linear curve on [0, inf).
+
+    Parameters
+    ----------
+    xs, ys, slopes:
+        Parallel sequences describing the segments.  ``xs`` must be strictly
+        increasing and start at 0; ``slopes`` must be non-negative; the curve
+        must be non-decreasing across segment boundaries (jumps may only go
+        up).
+
+    Notes
+    -----
+    Instances are immutable; all operations return new curves.
+    """
+
+    __slots__ = ("xs", "ys", "slopes", "_xs_list", "_fingerprint")
+
+    def __init__(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        slopes: Sequence[float],
+        validate: bool = True,
+    ):
+        xs_arr = np.asarray(xs, dtype=float)
+        ys_arr = np.asarray(ys, dtype=float)
+        slopes_arr = np.asarray(slopes, dtype=float)
+        if validate:
+            if not (len(xs_arr) == len(ys_arr) == len(slopes_arr)):
+                raise CurveError("xs, ys and slopes must have equal length")
+            if len(xs_arr) == 0:
+                raise CurveError("a curve needs at least one segment")
+            if abs(xs_arr[0]) > EPS:
+                raise CurveError(f"first breakpoint must be at x=0, got {xs_arr[0]}")
+            if np.any(np.diff(xs_arr) <= 0):
+                raise CurveError("breakpoints must be strictly increasing")
+            if np.any(slopes_arr < -EPS):
+                raise CurveError("slopes must be non-negative for envelopes")
+            # Non-decreasing across boundaries: y[i+1] >= left limit.
+            if len(xs_arr) > 1:
+                left_limits = ys_arr[:-1] + slopes_arr[:-1] * np.diff(xs_arr)
+                if np.any(ys_arr[1:] < left_limits - 1e-6 * np.maximum(1.0, np.abs(left_limits))):
+                    raise CurveError("curve must be non-decreasing (downward jump found)")
+        self.xs = xs_arr
+        self.ys = ys_arr
+        self.slopes = slopes_arr
+        # Scalar-evaluation fast path (bisect on a plain list is much faster
+        # than numpy searchsorted for single points).
+        self._xs_list = xs_arr.tolist()
+        self._fingerprint = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Curve":
+        """The identically-zero curve."""
+        return Curve([0.0], [0.0], [0.0], validate=False)
+
+    @staticmethod
+    def constant(value: float) -> "Curve":
+        """A constant curve (jump to ``value`` at t=0)."""
+        if value < 0:
+            raise CurveError("constant envelope must be non-negative")
+        return Curve([0.0], [value], [0.0], validate=False)
+
+    @staticmethod
+    def affine(burst: float, rate: float) -> "Curve":
+        """The token-bucket curve ``burst + rate * t``.
+
+        With ``burst=0`` this is the pure rate line ``rate * t`` — the
+        service curve of a constant-rate link.
+        """
+        if burst < 0 or rate < 0:
+            raise CurveError("affine curve needs non-negative burst and rate")
+        return Curve([0.0], [burst], [rate], validate=False)
+
+    @staticmethod
+    def rate_latency(rate: float, latency: float) -> "Curve":
+        """The rate-latency service curve ``max(0, rate * (t - latency))``."""
+        if rate < 0 or latency < 0:
+            raise CurveError("rate-latency curve needs non-negative parameters")
+        if latency == 0:
+            return Curve.affine(0.0, rate)
+        return Curve([0.0, latency], [0.0, 0.0], [0.0, rate], validate=False)
+
+    @staticmethod
+    def from_points(
+        points: Sequence[Tuple[float, float]], final_slope: float
+    ) -> "Curve":
+        """Build a continuous curve through ``points`` (sorted by x).
+
+        ``points`` are ``(x, y)`` pairs; consecutive points are joined by
+        straight segments and the curve continues past the last point with
+        ``final_slope``.  The first point must have ``x == 0``.
+        """
+        if not points:
+            raise CurveError("need at least one point")
+        xs: List[float] = []
+        ys: List[float] = []
+        slopes: List[float] = []
+        for idx, (x, y) in enumerate(points):
+            xs.append(float(x))
+            ys.append(float(y))
+            if idx + 1 < len(points):
+                nx, ny = points[idx + 1]
+                dx = nx - x
+                if dx <= 0:
+                    raise CurveError("points must have strictly increasing x")
+                slopes.append((ny - y) / dx)
+            else:
+                slopes.append(float(final_slope))
+        return Curve(xs, ys, slopes)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def __call__(self, t):
+        """Evaluate the curve at ``t`` (scalar or array), right-continuously."""
+        if isinstance(t, (int, float)):
+            if t < 0:
+                return 0.0
+            i = bisect_right(self._xs_list, t) - 1
+            if i < 0:
+                i = 0
+            return self.ys[i] + self.slopes[i] * (t - self.xs[i])
+        t_arr = np.asarray(t, dtype=float)
+        idx = np.searchsorted(self.xs, t_arr, side="right") - 1
+        np.clip(idx, 0, len(self.xs) - 1, out=idx)
+        vals = self.ys[idx] + self.slopes[idx] * (t_arr - self.xs[idx])
+        # For t < 0 the curve is 0 by convention.
+        vals = np.where(t_arr < 0, 0.0, vals)
+        if t_arr.ndim == 0:
+            return float(vals)
+        return vals
+
+    def value(self, t: float) -> float:
+        """Scalar evaluation (alias of ``__call__`` for readability)."""
+        return float(self(t))
+
+    def left_limit(self, t: float) -> float:
+        """The left limit ``lim_{s -> t^-} curve(s)`` (0 at t <= 0)."""
+        if t <= 0:
+            return 0.0
+        i = int(np.searchsorted(self.xs, t, side="left")) - 1
+        if i < 0:
+            return 0.0
+        if i + 1 < len(self.xs) and _is_close(self.xs[i + 1], t):
+            # t is exactly at breakpoint i+1: left limit comes from segment i.
+            pass
+        return float(self.ys[i] + self.slopes[i] * (t - self.xs[i]))
+
+    @property
+    def final_slope(self) -> float:
+        """Slope of the last (infinite) segment — the long-term rate."""
+        return float(self.slopes[-1])
+
+    @property
+    def last_breakpoint(self) -> float:
+        """x-coordinate of the last breakpoint."""
+        return float(self.xs[-1])
+
+    def breakpoints(self) -> np.ndarray:
+        """The x-coordinates of all breakpoints (copy)."""
+        return self.xs.copy()
+
+    def fingerprint(self) -> int:
+        """A content hash, used for memoizing analyses keyed by envelope."""
+        if self._fingerprint is None:
+            self._fingerprint = hash(
+                (self.xs.tobytes(), self.ys.tobytes(), self.slopes.tobytes())
+            )
+        return self._fingerprint
+
+    def pseudo_inverse(self, y: float) -> float:
+        """``inf { t >= 0 : curve(t) >= y }`` — the first time ``y`` is reached.
+
+        Returns ``math.inf`` when the curve never reaches ``y``.  Because the
+        curve is non-decreasing, the first segment whose span covers ``y``
+        can be found by binary search on the breakpoint values.
+        """
+        return float(self.pseudo_inverse_many(np.asarray([y]))[0])
+
+    def pseudo_inverse_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`pseudo_inverse` for an array of values."""
+        values = np.asarray(values, dtype=float)
+        n = len(self.xs)
+        # i0 = index of the first breakpoint whose (right) value >= y.
+        i0 = np.searchsorted(self.ys, values, side="left")
+        # Default answer: the jump at breakpoint i0 (or inf past the end).
+        out = np.where(i0 < n, self.xs[np.minimum(i0, n - 1)], math.inf)
+        # Segment j = i0 - 1 may climb to y before breakpoint i0.
+        j = np.clip(i0 - 1, 0, n - 1)
+        slope_j = self.slopes[j]
+        safe_slope = np.where(slope_j > EPS, slope_j, 1.0)
+        t_seg = self.xs[j] + (values - self.ys[j]) / safe_slope
+        seg_end = np.append(self.xs[1:], math.inf)[j]
+        use_seg = (i0 >= 1) & (slope_j > EPS) & (t_seg <= seg_end)
+        out = np.where(use_seg, t_seg, out)
+        out = np.where((i0 == 0) | (values <= self.ys[0]), 0.0, out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def _merged_xs(self, other: "Curve") -> np.ndarray:
+        xs = np.union1d(self.xs, other.xs)
+        return xs
+
+    def __add__(self, other) -> "Curve":
+        if isinstance(other, (int, float)):
+            return Curve(self.xs, self.ys + float(other), self.slopes, validate=False)
+        if not isinstance(other, Curve):
+            return NotImplemented
+        xs = self._merged_xs(other)
+        ys = self(xs) + other(xs)
+        slopes = np.empty_like(xs)
+        slopes[:] = _slopes_at(self, xs) + _slopes_at(other, xs)
+        return Curve(xs, ys, slopes, validate=False).simplify()
+
+    __radd__ = __add__
+
+    def __mul__(self, factor) -> "Curve":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        if factor < 0:
+            raise CurveError("cannot scale an envelope by a negative factor")
+        return Curve(self.xs, self.ys * float(factor), self.slopes * float(factor), validate=False)
+
+    __rmul__ = __mul__
+
+    def shift_right(self, delay: float) -> "Curve":
+        """Delay the curve by ``delay``: result(t) = curve(t - delay).
+
+        Used for constant-delay servers: the output envelope of a pure delay
+        element is the input envelope (traffic shape is unchanged), but the
+        *service curve* of the chain shifts.  Also used to advance envelopes
+        by a known delay bound.
+        """
+        if delay < 0:
+            raise CurveError("delay must be non-negative")
+        if delay == 0:
+            return self
+        xs = np.concatenate([[0.0], self.xs + delay])
+        ys = np.concatenate([[0.0], self.ys])
+        slopes = np.concatenate([[0.0], self.slopes])
+        return Curve(xs, ys, slopes, validate=False)
+
+    def shift_left(self, advance: float) -> "Curve":
+        """Advance the curve: result(t) = curve(t + advance).
+
+        The standard output-envelope bound of a FIFO server with delay bound
+        ``d`` is the input envelope advanced by ``d`` (a bit that left by
+        time ``t`` arrived no later than ``t``, and no earlier than
+        ``t - d``).
+        """
+        if advance < 0:
+            raise CurveError("advance must be non-negative")
+        if advance == 0:
+            return self
+        # New value at t is old value at t + advance.
+        keep = self.xs > advance
+        xs = np.concatenate([[0.0], self.xs[keep] - advance])
+        first_val = self(advance)
+        ys = np.concatenate([[first_val], self.ys[keep]])
+        # Slope at t=0 of the new curve is the slope of the segment containing
+        # `advance` in the old curve.
+        i = int(np.searchsorted(self.xs, advance, side="right")) - 1
+        slopes = np.concatenate([[self.slopes[i]], self.slopes[keep]])
+        return Curve(xs, ys, slopes, validate=False)
+
+    # ------------------------------------------------------------------
+    # Pointwise min / max
+    # ------------------------------------------------------------------
+
+    def minimum(self, other: "Curve") -> "Curve":
+        """Pointwise minimum of two curves (exact, with crossing points)."""
+        return _combine(self, other, min)
+
+    def maximum(self, other: "Curve") -> "Curve":
+        """Pointwise maximum of two curves (exact, with crossing points)."""
+        return _combine(self, other, max)
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+
+    def simplify(self, tol: float = 1e-9) -> "Curve":
+        """Merge consecutive collinear segments (no continuity jumps).
+
+        A breakpoint is dropped when it sits exactly on its predecessor's
+        line with the same slope; collinearity is transitive along a chain,
+        so the pairwise vectorized test matches the sequential sweep.
+        """
+        if len(self.xs) <= 1:
+            return self
+        dx = np.diff(self.xs)
+        pred_y = self.ys[:-1] + self.slopes[:-1] * dx
+        scale_y = np.maximum(1.0, np.maximum(np.abs(pred_y), np.abs(self.ys[1:])))
+        scale_s = np.maximum(
+            1.0, np.maximum(np.abs(self.slopes[:-1]), np.abs(self.slopes[1:]))
+        )
+        same = (np.abs(pred_y - self.ys[1:]) <= tol * scale_y) & (
+            np.abs(self.slopes[:-1] - self.slopes[1:]) <= tol * scale_s
+        )
+        keep = np.concatenate([[True], ~same])
+        if keep.all():
+            return self
+        return Curve(
+            self.xs[keep], self.ys[keep], self.slopes[keep], validate=False
+        )
+
+    def coarsen(self, max_segments: int) -> "Curve":
+        """Return a *conservative upper bound* with at most ``max_segments``.
+
+        Used to keep breakpoint counts bounded when envelopes accumulate
+        structure across many servers.  The result dominates the original
+        curve everywhere, so downstream delay bounds remain valid (they may
+        only become slightly more pessimistic).
+        """
+        if len(self.xs) <= max_segments:
+            return self
+        # Keep an evenly-spread subset of breakpoints.  On each interval
+        # between kept breakpoints the coarse curve is the *constant* equal to
+        # the original's supremum over the interval (its left limit at the
+        # next kept breakpoint) — a staircase that dominates the original
+        # because the original is non-decreasing.  From the last kept
+        # breakpoint onwards the coarse curve equals the original exactly.
+        idx = np.unique(np.linspace(0, len(self.xs) - 1, max_segments).astype(int))
+        new_xs = self.xs[idx]
+        new_ys = np.empty(len(idx))
+        new_slopes = np.zeros(len(idx))
+        new_ys[:-1] = _left_limits_at(self, self.xs[idx[1:]])
+        new_ys[-1] = self.ys[idx[-1]]
+        new_slopes[-1] = self.slopes[idx[-1]]
+        ys_arr = np.maximum.accumulate(new_ys)
+        return Curve(new_xs, ys_arr, new_slopes, validate=False).simplify()
+
+    # ------------------------------------------------------------------
+    # Comparison helpers
+    # ------------------------------------------------------------------
+
+    def dominates(self, other: "Curve", tol: float = 1e-6) -> bool:
+        """True if ``self(t) >= other(t) - tol`` for all t."""
+        xs = np.union1d(self.xs, other.xs)
+        if self.final_slope < other.final_slope - EPS:
+            return False
+        # Check right values and left limits at all breakpoints.
+        vals_self = self(xs)
+        vals_other = other(xs)
+        scale = np.maximum(1.0, np.abs(vals_other))
+        if np.any(vals_self < vals_other - tol * scale):
+            return False
+        ll_self = _left_limits_at(self, xs[1:])
+        ll_other = _left_limits_at(other, xs[1:])
+        scale_ll = np.maximum(1.0, np.abs(ll_other))
+        return not np.any(ll_self < ll_other - tol * scale_ll)
+
+    def equals(self, other: "Curve", tol: float = 1e-9) -> bool:
+        """Pointwise equality within tolerance."""
+        return self.dominates(other, tol) and other.dominates(self, tol)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable description of the curve."""
+        return {
+            "xs": self.xs.tolist(),
+            "ys": self.ys.tolist(),
+            "slopes": self.slopes.tolist(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Curve":
+        """Rebuild a curve from :meth:`to_dict` output (validated)."""
+        try:
+            return Curve(data["xs"], data["ys"], data["slopes"])
+        except KeyError as exc:
+            raise CurveError(f"curve dict missing key {exc}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pieces = ", ".join(
+            f"({x:.6g}: {y:.6g} @{s:.6g})"
+            for x, y, s in zip(self.xs[:6], self.ys[:6], self.slopes[:6])
+        )
+        more = "…" if len(self.xs) > 6 else ""
+        return f"Curve[{len(self.xs)} segs: {pieces}{more}]"
+
+
+def _left_limits_at(curve: Curve, xs: np.ndarray) -> np.ndarray:
+    """Vectorized left limits of ``curve`` at each x (0 for x <= 0)."""
+    idx = np.searchsorted(curve.xs, xs, side="left") - 1
+    idx = np.clip(idx, 0, len(curve.xs) - 1)
+    vals = curve.ys[idx] + curve.slopes[idx] * (xs - curve.xs[idx])
+    return np.where(xs <= 0, 0.0, vals)
+
+
+def _slopes_at(curve: Curve, xs: np.ndarray) -> np.ndarray:
+    """The slope of ``curve`` on the segment starting at each x in ``xs``.
+
+    ``xs`` must contain only points at or after 0.  For points beyond the
+    last breakpoint the final slope applies.
+    """
+    idx = np.searchsorted(curve.xs, xs, side="right") - 1
+    idx = np.clip(idx, 0, len(curve.xs) - 1)
+    return curve.slopes[idx]
+
+
+def _combine(a: Curve, b: Curve, chooser) -> Curve:
+    """Pointwise min or max of two curves, inserting crossing points."""
+    base_xs = np.union1d(a.xs, b.xs)
+    # Find crossings inside each interval [x_i, x_{i+1}) where both are
+    # affine, plus in the final infinite segment.
+    va, vb = a(base_xs), b(base_xs)
+    sa, sb = _slopes_at(a, base_xs), _slopes_at(b, base_xs)
+    dslope = sa - sb
+    safe = np.where(np.abs(dslope) >= EPS, dslope, 1.0)
+    t_cross = -(va - vb) / safe
+    x_cross = base_xs + t_cross
+    seg_end = np.append(base_xs[1:], math.inf)
+    valid = (np.abs(dslope) >= EPS) & (t_cross > EPS) & (x_cross < seg_end - EPS)
+    xs = np.unique(np.concatenate([base_xs, x_cross[valid]]))
+    vals_a = a(xs)
+    vals_b = b(xs)
+    if chooser is min:
+        ys = np.minimum(vals_a, vals_b)
+        pick_a = vals_a <= vals_b
+    else:
+        ys = np.maximum(vals_a, vals_b)
+        pick_a = vals_a >= vals_b
+    slopes_a = _slopes_at(a, xs)
+    slopes_b = _slopes_at(b, xs)
+    # At a point where the curves are equal, the chooser must look ahead via
+    # slopes: min picks the smaller slope, max the larger.
+    equal = np.abs(vals_a - vals_b) <= 1e-12 * np.maximum(1.0, np.abs(vals_a))
+    if chooser is min:
+        slopes = np.where(pick_a, slopes_a, slopes_b)
+        slopes = np.where(equal, np.minimum(slopes_a, slopes_b), slopes)
+    else:
+        slopes = np.where(pick_a, slopes_a, slopes_b)
+        slopes = np.where(equal, np.maximum(slopes_a, slopes_b), slopes)
+    return Curve(xs, ys, slopes, validate=False).simplify()
+
+
+def sum_curves(curves: Iterable[Curve]) -> Curve:
+    """Sum an iterable of curves (the aggregate envelope at a multiplexer)."""
+    curves = list(curves)
+    if not curves:
+        return Curve.zero()
+    xs = curves[0].xs
+    for c in curves[1:]:
+        xs = np.union1d(xs, c.xs)
+    ys = np.zeros_like(xs)
+    slopes = np.zeros_like(xs)
+    for c in curves:
+        ys += c(xs)
+        slopes += _slopes_at(c, xs)
+    return Curve(xs, ys, slopes, validate=False).simplify()

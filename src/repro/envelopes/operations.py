@@ -1,0 +1,272 @@
+"""Deviation and deconvolution operations on envelope curves.
+
+These four functions implement, exactly, the quantities that the paper's
+server theorems need:
+
+* :func:`busy_interval` — Theorem 1(1): the maximal busy interval ``B``,
+  the first instant at which the service staircase has caught up with the
+  arrival envelope.
+* :func:`vertical_deviation` — Theorem 1(2): the worst-case backlog (buffer
+  requirement) ``F``.
+* :func:`horizontal_deviation` — Theorem 1(3): the worst-case delay ``chi``
+  (and the FIFO output-port delay bound of refs [2, 14]).
+* :func:`deconvolve` — Theorem 1(4) / Eq. (12): the output-traffic envelope
+  ``sup_t [A(t + I) - S(t)]`` restricted to ``t`` in the busy interval.
+
+All operations are exact for piecewise-linear inputs: candidate extremal
+points are enumerated from the curves' breakpoints, and between candidates
+the objective is affine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.envelopes.curve import EPS, Curve, _left_limits_at, _slopes_at
+
+
+def busy_interval(arrival: Curve, service: Curve, t_max: float = math.inf) -> float:
+    """The maximal busy interval ``B = min { t > 0 : A(t) <= S(t) }``.
+
+    Returns 0.0 when the server is never backlogged (``A <= S`` from the
+    start), and ``math.inf`` when the arrival rate exceeds the service rate
+    so the backlog never clears (the unstable case of Theorem 1).
+
+    Parameters
+    ----------
+    arrival, service:
+        The cumulative arrival envelope ``A`` and availability curve ``S``.
+    t_max:
+        Optional search cut-off; ``inf`` by default (the final affine
+        segments make an exact unbounded search possible).
+    """
+    xs = np.union1d(arrival.xs, service.xs)
+    xs = xs[xs <= t_max]
+    prev_x: Optional[float] = None
+    prev_diff: Optional[float] = None
+    for x in xs:
+        a_val = float(arrival(x))
+        diff = a_val - float(service(x))
+        tol = 1e-9 * max(1.0, abs(a_val))
+        if x > 0 and diff <= tol:
+            # Crossed (or touched) within the previous segment or exactly
+            # at this breakpoint.  Locate the crossing inside (prev_x, x).
+            if prev_x is not None and prev_diff is not None and prev_diff > tol:
+                sa = float(_slopes_at(arrival, np.array([prev_x]))[0])
+                ss = float(_slopes_at(service, np.array([prev_x]))[0])
+                dslope = sa - ss
+                if dslope < -EPS:
+                    t_cross = prev_x - prev_diff / dslope
+                    # The crossing may occur before the breakpoint (inside
+                    # the open segment) only if both curves are continuous
+                    # there; a jump in S at `x` can also close the gap.
+                    if t_cross < x - EPS:
+                        return float(t_cross)
+                return float(x)
+            return float(x)
+        prev_x, prev_diff = float(x), diff
+    # Beyond the last breakpoint both curves are affine.
+    x0 = float(xs[-1]) if len(xs) else 0.0
+    a0 = float(arrival(x0))
+    diff0 = a0 - float(service(x0))
+    tol0 = 1e-9 * max(1.0, abs(a0))
+    dslope = arrival.final_slope - service.final_slope
+    if diff0 <= tol0:
+        return x0 if x0 > 0 else 0.0
+    if dslope >= -EPS:
+        return math.inf
+    return float(x0 - diff0 / dslope)
+
+
+def vertical_deviation(
+    arrival: Curve, service: Curve, t_max: float = math.inf
+) -> float:
+    """``sup_{0 < t <= t_max} [A(t) - S(t)]`` — the worst-case backlog.
+
+    With ``t_max = inf`` the supremum over the final affine region is
+    included (it is ``+inf`` when the arrival rate exceeds the service
+    rate).
+    """
+    xs = np.union1d(arrival.xs, service.xs)
+    xs = xs[xs <= t_max]
+    if len(xs) == 0:
+        xs = np.asarray([0.0])
+    # Right values at the breakpoints, and left limits (a jump *down* in
+    # A - S happens when S jumps, so the supremum may sit just before a
+    # breakpoint).
+    right = np.max(arrival(xs) - service(xs))
+    left = np.max(_left_limits_at(arrival, xs) - _left_limits_at(service, xs))
+    best = max(0.0, float(right), float(left))
+    if math.isfinite(t_max):
+        best = max(best, float(arrival(t_max) - service(t_max)))
+        return best
+    if arrival.final_slope > service.final_slope + EPS:
+        return math.inf
+    return best
+
+
+def horizontal_deviation(
+    arrival: Curve, service: Curve, t_max: float = math.inf
+) -> float:
+    """``sup_{0 < t <= t_max} min { d >= 0 : S(t + d) >= A(t) }``.
+
+    This is the classical worst-case FIFO delay: the maximal horizontal
+    distance from the arrival envelope to the service curve.  Returns
+    ``math.inf`` when the system is unstable (``A``'s long-term rate exceeds
+    ``S``'s) or when ``S`` plateaus below a value ``A`` reaches.
+    """
+    if math.isinf(t_max) and arrival.final_slope > service.final_slope + EPS:
+        return math.inf
+
+    # Candidate t values where the delay function d(t) = S^{-1}(A(t)) - t can
+    # peak: arrival breakpoints (tail of a burst), and points where A(t)
+    # crosses a service breakpoint value (d changes slope there).  Left
+    # limits at service jumps and a nudge past each candidate cover suprema
+    # that are approached but not attained.
+    service_levels = np.concatenate(
+        [service.ys, [service.left_limit(float(x)) for x in service.xs[1:]]]
+    )
+    crossing_ts = arrival.pseudo_inverse_many(service_levels)
+    crossing_ts = crossing_ts[np.isfinite(crossing_ts)]
+    cands = np.concatenate([arrival.xs, crossing_ts])
+    cands = np.concatenate([cands, cands + 1e-9 * np.maximum(1.0, cands)])
+    if math.isfinite(t_max):
+        cands = cands[cands <= t_max + EPS]
+        cands = np.append(cands, float(t_max))
+    cands = cands[cands >= 0.0]
+    if len(cands) == 0:
+        return 0.0
+
+    arr_vals = arrival(cands)
+    s_times = service.pseudo_inverse_many(arr_vals)
+    if np.any(np.isinf(s_times)):
+        return math.inf
+    best = float(np.max(s_times - cands))
+
+    # Beyond the last candidate the delay function is affine with slope
+    # (rate_A / rate_S - 1) <= 0 in the stable case, so the supremum over the
+    # tail is attained at the last breakpoint already considered; in the
+    # bounded case t_max is included above.
+    return max(best, 0.0)
+
+
+def token_bucket_majorant(curve: Curve) -> Tuple[float, float]:
+    """The tightest (sigma, rho) with ``curve(t) <= sigma + rho * t``.
+
+    ``rho`` is the curve's final slope; ``sigma`` the supremum of
+    ``curve(t) - rho * t``, attained at a breakpoint (or a left limit just
+    before one) because the difference is piecewise linear.
+    """
+    rho = curve.final_slope
+    xs = curve.xs
+    sigma = float(np.max(curve(xs) - rho * xs))
+    lefts = _left_limits_at(curve, xs[1:]) - rho * xs[1:] if len(xs) > 1 else []
+    if len(xs) > 1:
+        sigma = max(sigma, float(np.max(lefts)))
+    return max(0.0, sigma), rho
+
+
+def deconvolve(
+    arrival: Curve,
+    service: Curve,
+    t_limit: float,
+    i_max: Optional[float] = None,
+    max_breakpoints: int = 512,
+) -> Curve:
+    """Output envelope ``O(I) = sup_{0 <= t <= t_limit} [A(t + I) - S(t)]``.
+
+    ``t_limit`` should be the server's busy interval ``B`` (Theorem 1(4)
+    restricts the supremum to the busy interval).  The result is exact: the
+    supremum of finitely many affine-in-``I`` functions is evaluated at every
+    ``I`` where the active function can change — the pairwise differences of
+    breakpoints of ``A`` and ``S`` — and is affine in between.
+
+    Parameters
+    ----------
+    i_max:
+        Horizon after which the result continues with ``A``'s final slope.
+        Defaults to ``A.last_breakpoint + t_limit`` which is provably
+        sufficient for exactness.
+    max_breakpoints:
+        Safety valve for pathological inputs: if the candidate grid exceeds
+        this size it is thinned (the result then interpolates between exact
+        points of a non-decreasing function, and is re-majorized to stay
+        conservative).
+    """
+    if not math.isfinite(t_limit):
+        raise ValueError("deconvolution needs a finite busy interval")
+    t_limit = max(0.0, t_limit)
+
+    if i_max is None:
+        i_max = arrival.last_breakpoint + t_limit + EPS
+
+    # Candidate t values (within [0, t_limit]): breakpoints of S, and
+    # breakpoints of A shifted by each candidate I — equivalently, we build
+    # the candidate I grid from pairwise differences and evaluate the sup by
+    # scanning t candidates per I.
+    t_cands = [0.0, t_limit]
+    t_cands.extend(float(x) for x in service.xs if 0.0 < x < t_limit)
+    # The supremum can sit just *before* a service jump (where S is still at
+    # its left limit); nudged candidates capture it to within the nudge.
+    for x in list(service.xs) + [t_limit]:
+        x = float(x)
+        if 0.0 < x <= t_limit:
+            t_cands.append(max(0.0, x - 1e-9 * max(1.0, x)))
+    t_cands = sorted(set(t_cands))
+
+    i_cands = {0.0, float(i_max)}
+    for ax in arrival.xs:
+        for t in t_cands:
+            d = float(ax) - t
+            if 0.0 < d < i_max:
+                i_cands.add(d)
+        if 0.0 < ax < i_max:
+            i_cands.add(float(ax))
+    i_grid = sorted(i_cands)
+    thinned = len(i_grid) > max_breakpoints
+    if thinned:
+        # Thin the grid but always keep the endpoints.
+        step = len(i_grid) / float(max_breakpoints)
+        idx = sorted({0, len(i_grid) - 1} | {int(k * step) for k in range(max_breakpoints)})
+        i_grid = [i_grid[k] for k in idx]
+
+    t_base = np.asarray(t_cands)
+    i_arr = np.asarray(i_grid)
+
+    # Branch 1 (service-relative candidates): sup over t in t_base of
+    # A(t + I) - S(t), vectorized as a |I| x |t| matrix.
+    s_base = service(t_base)
+    a_matrix = arrival((t_base[None, :] + i_arr[:, None]).ravel()).reshape(
+        len(i_arr), len(t_base)
+    )
+    values = np.max(a_matrix - s_base[None, :], axis=1)
+
+    # Branch 2 (arrival-relative candidates): t = ax - I for each arrival
+    # breakpoint ax; there A jumps to its right value ys[k].
+    if len(arrival.xs):
+        t_mat = arrival.xs[None, :] - i_arr[:, None]
+        valid = (t_mat >= 0.0) & (t_mat <= t_limit)
+        s_vals = service(np.where(valid, t_mat, 0.0).ravel()).reshape(t_mat.shape)
+        branch2 = np.where(valid, arrival.ys[None, :] - s_vals, -math.inf)
+        values = np.maximum(values, np.max(branch2, axis=1))
+
+    # O is non-decreasing in I; enforce against numerical noise.
+    values = np.maximum.accumulate(values)
+
+    if thinned:
+        # Linear interpolation between thinned samples could undercut the
+        # true (non-decreasing) function; a right-continuous staircase
+        # through the *next* sample dominates it everywhere.
+        xs = np.asarray(i_grid)
+        ys = np.concatenate([values[1:], values[-1:]])
+        slopes = np.concatenate(
+            [np.zeros(len(xs) - 1), [arrival.final_slope]]
+        )
+        return Curve(xs, ys, slopes, validate=False).simplify()
+
+    points = list(zip(i_grid, values))
+    out = Curve.from_points(points, final_slope=arrival.final_slope)
+    return out.simplify()

@@ -1,0 +1,203 @@
+"""Staircase constructors and quantization used by the server theorems.
+
+Staircases are unbounded periodic step functions; a :class:`Curve` has a
+finite breakpoint list, so each constructor represents the staircase exactly
+over a configurable horizon and then continues with an affine tail chosen on
+the *safe* side:
+
+* service staircases (token availability) continue with a tail that never
+  exceeds the true staircase — service is under-estimated, delays stay
+  conservative;
+* arrival staircases continue with a tail that never falls below the true
+  staircase — arrivals are over-estimated, again conservative.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.envelopes.curve import Curve
+from repro.errors import CurveError
+
+
+def timed_token_staircase(
+    sync_bandwidth_time: float,
+    ttrt: float,
+    ring_bandwidth: float,
+    n_steps: int = 64,
+) -> Curve:
+    """The timed-token availability curve of Theorem 1.
+
+    ``avail(t) = max(0, (floor(t / TTRT) - 1) * H * BW)``: a station holding
+    synchronous allocation ``H`` (seconds of transmission per token rotation)
+    is guaranteed ``H * BW`` bits in every full TTRT window, with up to two
+    windows of dead time at the start (worst-case token position).
+
+    Parameters
+    ----------
+    sync_bandwidth_time:
+        ``H`` — synchronous allocation, in seconds per rotation.
+    ttrt:
+        Target token rotation time, seconds.
+    ring_bandwidth:
+        ``BW_FDDI`` in bits/second.
+    n_steps:
+        Number of exact steps before the conservative affine tail (the tail
+        under-estimates the staircase, so results stay safe if the busy
+        interval outruns the horizon).
+    """
+    if sync_bandwidth_time < 0 or ttrt <= 0 or ring_bandwidth <= 0:
+        raise CurveError("timed-token staircase needs positive parameters")
+    step_bits = sync_bandwidth_time * ring_bandwidth
+    if step_bits == 0:
+        return Curve.zero()
+    n_steps = max(2, int(n_steps))
+    xs: List[float] = [0.0]
+    ys: List[float] = [0.0]
+    slopes: List[float] = [0.0]
+    for k in range(2, n_steps + 2):
+        xs.append(k * ttrt)
+        ys.append((k - 1) * step_bits)
+        slopes.append(0.0)
+    # Affine tail: line through the *left corners* of subsequent steps —
+    # touches the staircase from below.  It starts one period after the last
+    # exact step so it never overtakes the current plateau.
+    last_k = n_steps + 1
+    xs.append((last_k + 1) * ttrt)
+    ys.append((last_k - 1) * step_bits)
+    slopes.append(step_bits / ttrt)
+    return Curve(xs, ys, slopes, validate=False)
+
+
+def periodic_burst_staircase(
+    burst_bits: float,
+    period: float,
+    n_periods: int = 64,
+    peak_rate: float = math.inf,
+) -> Curve:
+    """Arrival envelope of a periodic source: ``C`` bits every ``P`` seconds.
+
+    With ``peak_rate = inf`` (the staircase interpretation) the envelope is
+    ``A(t) = C * (floor(t / P) + 1)`` — a burst of ``C`` bits may land at the
+    very start of the interval and at every period boundary after it.  With a
+    finite ``peak_rate`` each burst is smeared into a ramp of slope
+    ``peak_rate`` lasting ``C / peak_rate`` seconds.
+
+    The affine tail beyond ``n_periods`` periods passes through the step tops
+    (it dominates the true staircase — conservative for arrivals).
+    """
+    if burst_bits < 0 or period <= 0:
+        raise CurveError("periodic staircase needs burst >= 0 and period > 0")
+    if burst_bits == 0:
+        return Curve.zero()
+    if peak_rate <= 0:
+        raise CurveError("peak rate must be positive")
+    n_periods = max(1, int(n_periods))
+    rate = burst_bits / period
+    if math.isinf(peak_rate):
+        xs = [k * period for k in range(n_periods)]
+        ys = [(k + 1) * burst_bits for k in range(n_periods)]
+        slopes = [0.0] * n_periods
+        # Tail through step tops: A(t) <= C * (t/P + 1) with equality at jumps.
+        xs.append(n_periods * period)
+        ys.append((n_periods + 1) * burst_bits)
+        slopes.append(rate)
+        return Curve(xs, ys, slopes, validate=False)
+    ramp_time = burst_bits / peak_rate
+    if ramp_time >= period:
+        # The source cannot even emit C within P at this peak rate: it is a
+        # plain constant-rate source at the peak rate capped by C per period.
+        return Curve.affine(0.0, min(peak_rate, rate))
+    xs = []
+    ys = []
+    slopes = []
+    for k in range(n_periods):
+        start = k * period
+        xs.append(start)
+        ys.append(k * burst_bits)
+        slopes.append(peak_rate)
+        xs.append(start + ramp_time)
+        ys.append((k + 1) * burst_bits)
+        slopes.append(0.0)
+    # Beyond the horizon, switch to the affine majorant C + rate * t (the
+    # standard token-bucket bound for this source), which dominates the true
+    # envelope everywhere, so the switch jump is upward.
+    switch_x = n_periods * period
+    xs.append(switch_x)
+    ys.append(burst_bits + rate * switch_x)
+    slopes.append(rate)
+    return Curve(xs, ys, slopes, validate=False)
+
+
+def ceiling_quantize(
+    curve: Curve,
+    quantum_in: float,
+    quantum_out: float,
+    t_max: float,
+    max_steps: int = 2048,
+) -> Curve:
+    """Theorem 2 quantization: ``g(t) = ceil(f(t) / q_in) * q_out``.
+
+    A frame of ``q_in`` payload bits leaves the converter as ``q_out`` bits of
+    cells (padding included), so the output envelope is the input envelope
+    rounded up to whole frames and re-scaled to cell bits.
+
+    The staircase is computed exactly up to ``t_max`` (typically the busy
+    interval plus the analysis horizon).  If that would take more than
+    ``max_steps`` steps, the function falls back to the conservative linear
+    bound ``g <= f * (q_out / q_in) + q_out`` (one extra frame of slack),
+    which dominates the staircase everywhere.
+    """
+    if quantum_in <= 0 or quantum_out <= 0:
+        raise CurveError("quantization needs positive quanta")
+    total_steps = curve(t_max) / quantum_in
+    if not math.isfinite(total_steps) or total_steps > max_steps:
+        return _linear_quantize_bound(curve, quantum_in, quantum_out)
+
+    xs: List[float] = [0.0]
+    ys: List[float] = [math.ceil(_round_safe(curve(0.0) / quantum_in)) * quantum_out]
+    slopes: List[float] = [0.0]
+    level = ys[0] / quantum_out  # current number of whole frames
+    while True:
+        # First time the input strictly exceeds `level` frames.
+        threshold = level * quantum_in + 1e-9 * max(1.0, quantum_in)
+        t_next = curve.pseudo_inverse(threshold)
+        if not math.isfinite(t_next) or t_next > t_max:
+            break
+        new_level = math.ceil(_round_safe(curve(t_next) / quantum_in))
+        if new_level <= level:
+            new_level = level + 1
+        if t_next <= xs[-1] + 1e-15:
+            # A burst crossing several quanta at the same instant.
+            ys[-1] = new_level * quantum_out
+        else:
+            xs.append(t_next)
+            ys.append(new_level * quantum_out)
+            slopes.append(0.0)
+        level = new_level
+    # Beyond t_max, switch to the affine majorant so the curve keeps
+    # dominating the true staircase for all time.  The majorant is >= the
+    # staircase, so the jump at the switch point is upward (non-decreasing).
+    majorant = _linear_quantize_bound(curve, quantum_in, quantum_out)
+    switch_x = max(t_max, xs[-1] + 1e-12)
+    xs.append(switch_x)
+    ys.append(float(majorant(switch_x)))
+    slopes.append(float(majorant.slopes[-1]) if switch_x >= majorant.last_breakpoint else curve.final_slope * (quantum_out / quantum_in))
+    return Curve(xs, np.asarray(ys, dtype=float), slopes, validate=False).simplify()
+
+
+def _round_safe(x: float) -> float:
+    """Snap values a hair below an integer up to it before ``ceil``."""
+    nearest = round(x)
+    if abs(x - nearest) < 1e-9 * max(1.0, abs(x)):
+        return float(nearest)
+    return x
+
+
+def _linear_quantize_bound(curve: Curve, quantum_in: float, quantum_out: float) -> Curve:
+    """The affine majorant ``f * (q_out / q_in) + q_out`` of the staircase."""
+    scaled = curve * (quantum_out / quantum_in)
+    return scaled + quantum_out

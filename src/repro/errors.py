@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object failed validation."""
+
+
+class CurveError(ReproError):
+    """An envelope-algebra operation received invalid curves."""
+
+
+class UnstableSystemError(ReproError):
+    """A server analysis diverged: long-term arrival rate exceeds service rate.
+
+    In the paper's terms, the busy interval of the server is unbounded and the
+    worst-case delay is infinite.  Admission control treats this as an
+    automatic rejection.
+    """
+
+
+class BufferOverflowError(ReproError):
+    """The worst-case backlog exceeds the buffer provisioned at a server.
+
+    Theorem 1 defines the worst-case delay to be infinite in this case; the
+    CAC must therefore reject the allocation that produced it.
+    """
+
+
+class TopologyError(ReproError):
+    """The network topology is malformed or a route cannot be found."""
+
+
+class RoutingError(TopologyError):
+    """No route exists between the requested endpoints."""
+
+
+class AdmissionError(ReproError):
+    """A connection could not be admitted.
+
+    Carries a human-readable ``reason`` so simulators and examples can report
+    why the CAC said no.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class CyclicDependencyError(ReproError):
+    """The per-port envelope propagation graph is not feed-forward.
+
+    The decomposition analysis of Section 4 requires that traffic envelopes
+    can be propagated server-by-server in topological order.  Routes that
+    create a cyclic mutual dependency between shared servers are outside the
+    model and are rejected explicitly rather than analyzed incorrectly.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,34 @@
+"""Experiment harness: regenerates every figure of the paper's evaluation.
+
+* :mod:`repro.experiments.figure7` — AP vs beta at U in {0.3, 0.6, 0.9}.
+* :mod:`repro.experiments.figure8` — AP vs U at beta in {0, 0.5, 1.0}.
+* :mod:`repro.experiments.validation` — analytic bound vs packet-level
+  simulation (experiment E3).
+* :mod:`repro.experiments.ablations` — allocation-policy and workload
+  ablations (E4/E5).
+
+Run from the command line::
+
+    python -m repro.experiments figure7 [--quick] [--no-calibration]
+    python -m repro.experiments figure8 [--quick]
+    python -m repro.experiments validation
+    python -m repro.experiments ablation-policies
+    python -m repro.experiments ablation-workload
+"""
+
+from repro.experiments.common import ExperimentSettings, SeriesResult, format_table
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.validation import run_validation
+from repro.experiments.ablations import run_policy_ablation, run_workload_ablation
+
+__all__ = [
+    "ExperimentSettings",
+    "SeriesResult",
+    "format_table",
+    "run_figure7",
+    "run_figure8",
+    "run_policy_ablation",
+    "run_validation",
+    "run_workload_ablation",
+]

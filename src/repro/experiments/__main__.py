@@ -1,0 +1,78 @@
+"""Command-line experiment runner: ``python -m repro.experiments <name>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figure7, figure8, validation, ablations
+from repro.experiments.common import ExperimentSettings
+
+
+def build_settings(args) -> ExperimentSettings:
+    if args.quick:
+        base = ExperimentSettings.quick()
+    else:
+        base = ExperimentSettings()
+    if args.no_calibration:
+        base = ExperimentSettings(
+            n_requests=base.n_requests,
+            warmup_requests=base.warmup_requests,
+            seeds=base.seeds,
+            calibrate_load=False,
+            network=base.network,
+        )
+    return base
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and the extra experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "figure7",
+            "figure8",
+            "validation",
+            "ablation-policies",
+            "ablation-workload",
+            "all",
+        ],
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer requests / one seed"
+    )
+    parser.add_argument(
+        "--no-calibration",
+        action="store_true",
+        help="use the paper's load formula verbatim (load_scale=1)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write the figure series as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+    settings = build_settings(args)
+
+    runners = {
+        "figure7": lambda: figure7.main(settings, csv_dir=args.csv),
+        "figure8": lambda: figure8.main(settings, csv_dir=args.csv),
+        "validation": lambda: validation.main(),
+        "ablation-policies": lambda: ablations.main_policies(settings),
+        "ablation-workload": lambda: ablations.main_workload(settings),
+    }
+    names = list(runners) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        print(runners[name]())
+        print(f"\n[{name} finished in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Experiment artifacts: persist series as CSV for external plotting.
+
+The paper's figures are line plots; this module writes each regenerated
+series to a plain CSV so any plotting tool can redraw them.  Files land in
+a ``results/`` directory by default.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+from repro.experiments.common import SeriesResult
+
+
+def write_series_csv(
+    path: str,
+    x_label: str,
+    series: Sequence[SeriesResult],
+) -> str:
+    """Write ``series`` to ``path`` (one row per x, one column per series).
+
+    Returns the path written.  Columns carry the series labels; each series
+    gets a companion ``<label>_spread`` column with the across-seed
+    half-range.
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    xs = sorted({x for s in series for x in s.xs})
+    lookup = {
+        (s.label, x): (y, sp)
+        for s in series
+        for x, y, sp in zip(s.xs, s.ys, s.spreads)
+    }
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        header = [x_label]
+        for s in series:
+            header.extend([s.label, f"{s.label}_spread"])
+        writer.writerow(header)
+        for x in xs:
+            row = [f"{x:.6g}"]
+            for s in series:
+                if (s.label, x) in lookup:
+                    y, sp = lookup[(s.label, x)]
+                    row.extend([f"{y:.6f}", f"{sp:.6f}"])
+                else:
+                    row.extend(["", ""])
+            writer.writerow(row)
+    return path
+
+
+def read_series_csv(path: str):
+    """Read back a CSV written by :func:`write_series_csv`.
+
+    Returns ``(x_label, series_list)`` — used by tests and by downstream
+    plotting scripts.
+    """
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    if not rows:
+        raise ValueError(f"{path}: empty CSV")
+    header = rows[0]
+    x_label = header[0]
+    labels = header[1::2]
+    series = [SeriesResult(label=lab) for lab in labels]
+    for row in rows[1:]:
+        x = float(row[0])
+        for i, s in enumerate(series):
+            y_cell = row[1 + 2 * i]
+            sp_cell = row[2 + 2 * i]
+            if y_cell:
+                s.add(x, float(y_cell), float(sp_cell) if sp_cell else 0.0)
+    return x_label, series

@@ -1,0 +1,76 @@
+"""Figure 7: sensitivity of the admission probability to beta.
+
+The paper simulates the 3-ring network at backbone utilizations
+U in {0.3, 0.6, 0.9} and sweeps beta from 0 to 1; it reports that AP peaks
+for interior beta (roughly [0.4, 0.7]) and that the sensitivity grows with
+load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    SeriesResult,
+    format_table,
+    mean_and_spread,
+)
+from repro.sim.connection_sim import ConnectionSimConfig, ConnectionSimulator
+
+#: The paper's loading conditions.
+UTILIZATIONS = (0.3, 0.6, 0.9)
+#: The beta sweep of Figure 7.
+BETAS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def run_figure7(
+    settings: Optional[ExperimentSettings] = None,
+    utilizations: Sequence[float] = UTILIZATIONS,
+    betas: Sequence[float] = BETAS,
+) -> List[SeriesResult]:
+    """Regenerate the Figure 7 series (one per utilization)."""
+    settings = settings or ExperimentSettings()
+    sim_cfg = settings.simulation_config()
+    series: List[SeriesResult] = []
+    for u in utilizations:
+        s = SeriesResult(label=f"U={u:g}")
+        for beta in betas:
+            aps = []
+            for seed in settings.seeds:
+                cfg = ConnectionSimConfig(
+                    utilization=u,
+                    beta=beta,
+                    seed=seed,
+                    n_requests=settings.n_requests,
+                    warmup_requests=settings.warmup_requests,
+                    network=settings.network,
+                    simulation=sim_cfg,
+                )
+                aps.append(ConnectionSimulator(cfg).run().admission_probability)
+            mean, spread = mean_and_spread(aps)
+            s.add(beta, mean, spread)
+        series.append(s)
+    return series
+
+
+def main(
+    settings: Optional[ExperimentSettings] = None, csv_dir: Optional[str] = None
+) -> str:
+    series = run_figure7(settings)
+    out = ["Figure 7 — Admission probability vs beta", ""]
+    out.append(format_table("beta", series))
+    if csv_dir:
+        from repro.experiments.artifacts import write_series_csv
+        import os
+
+        path = write_series_csv(os.path.join(csv_dir, "figure7.csv"), "beta", series)
+        out.append(f"\n[series written to {path}]")
+    out.append("")
+    for s in series:
+        best = max(range(len(s.xs)), key=lambda i: s.ys[i])
+        out.append(
+            f"  {s.label}: best beta = {s.xs[best]:.1f} (AP={s.ys[best]:.3f}); "
+            f"AP(0)={s.ys[0]:.3f}, AP(1)={s.ys[-1]:.3f}"
+        )
+    return "\n".join(out)

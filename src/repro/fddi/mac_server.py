@@ -1,0 +1,167 @@
+"""The FDDI_MAC server analysis — Theorem 1 of the paper.
+
+A station (or interface device) holding synchronous allocation ``H`` on a
+ring with rotation target TTRT is guaranteed the availability staircase
+
+    ``avail(t) = max(0, (floor(t / TTRT) - 1) * H * BW)``.
+
+Theorem 1 then gives, for an input envelope ``A(t) = t * Gamma(t)``:
+
+1. the maximal busy interval ``B = min { t : A(t) <= avail(t) }``;
+2. the buffer requirement ``F = max_{0 < t <= B} [A(t) - avail(t)]``;
+3. the worst-case delay ``chi = max_{0 < t <= B} min { d : avail(t+d) >= A(t) }``
+   (infinite if ``F`` exceeds the MAC buffer);
+4. the output envelope ``Gamma'(I) = min(BW, Upsilon(I))`` with
+   ``Upsilon(I) = max_{0 <= t <= B} [A(t + I) - avail(t)] / I``.
+
+Each maps directly onto an exact envelope-algebra operation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.envelopes.curve import Curve
+from repro.envelopes.operations import (
+    busy_interval,
+    deconvolve,
+    horizontal_deviation,
+    vertical_deviation,
+)
+from repro.envelopes.staircase import timed_token_staircase
+from repro.errors import BufferOverflowError, ConfigurationError, UnstableSystemError
+from repro.servers.base import DedicatedServer, ServerAnalysis
+
+
+class FDDIMacServer(DedicatedServer):
+    """Theorem-1 analysis of one station's synchronous MAC queue.
+
+    Parameters
+    ----------
+    sync_time:
+        ``H`` — the station's synchronous allocation, seconds per rotation.
+    ttrt:
+        Target token rotation time, seconds.
+    bandwidth:
+        Ring rate ``BW_FDDI``, bits/second.
+    buffer_bits:
+        MAC transmit buffer ``S`` in bits (``inf`` = unbounded).  Theorem 1
+        declares the delay infinite on overflow; we raise
+        :class:`BufferOverflowError` so the condition cannot be ignored.
+    max_steps:
+        Cap on the number of exact staircase steps used before the
+        conservative affine tail takes over.
+    """
+
+    def __init__(
+        self,
+        sync_time: float,
+        ttrt: float,
+        bandwidth: float,
+        buffer_bits: float = math.inf,
+        name: str = "fddi-mac",
+        max_steps: int = 4096,
+    ):
+        if sync_time < 0:
+            raise ConfigurationError("synchronous allocation must be non-negative")
+        if ttrt <= 0 or bandwidth <= 0:
+            raise ConfigurationError("TTRT and bandwidth must be positive")
+        if buffer_bits <= 0:
+            raise ConfigurationError("buffer must be positive (or inf)")
+        self.sync_time = float(sync_time)
+        self.ttrt = float(ttrt)
+        self.bandwidth = float(bandwidth)
+        self.buffer_bits = float(buffer_bits)
+        self.name = name
+        self.max_steps = int(max_steps)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def guaranteed_rate(self) -> float:
+        """Long-term synchronous service rate ``H * BW / TTRT`` (bits/s)."""
+        return self.sync_time * self.bandwidth / self.ttrt
+
+    def availability(self, n_steps: int) -> Curve:
+        """The ``avail(t)`` staircase with ``n_steps`` exact steps."""
+        return timed_token_staircase(
+            self.sync_time, self.ttrt, self.bandwidth, n_steps=n_steps
+        )
+
+    def analyze(self, arrival: Curve) -> ServerAnalysis:
+        """Run Theorem 1 for ``arrival``; see class docstring.
+
+        Raises
+        ------
+        UnstableSystemError
+            If the long-term arrival rate exceeds the guaranteed service
+            rate (the busy interval — and hence the delay — is unbounded).
+        BufferOverflowError
+            If the worst-case backlog exceeds ``buffer_bits`` (Theorem 1
+            case ``F > S``: infinite delay).
+        """
+        if self.sync_time == 0.0:
+            raise UnstableSystemError(
+                f"{self.name}: zero synchronous allocation cannot serve traffic"
+            )
+        rate = self.guaranteed_rate
+        if arrival.final_slope > rate * (1 + 1e-12):
+            raise UnstableSystemError(
+                f"{self.name}: arrival rate {arrival.final_slope:.6g} b/s exceeds "
+                f"guaranteed synchronous rate {rate:.6g} b/s"
+            )
+
+        # Adaptively size the exact staircase horizon to cover the busy
+        # interval.  The affine tail under-estimates service, so a busy
+        # interval computed within the horizon is exact; one that lands in
+        # the tail region prompts a larger horizon.
+        n_steps = 32
+        while True:
+            avail = self.availability(n_steps)
+            b = busy_interval(arrival, avail)
+            if math.isinf(b):
+                raise UnstableSystemError(
+                    f"{self.name}: busy interval is unbounded"
+                )
+            if b <= (n_steps - 1) * self.ttrt or n_steps >= self.max_steps:
+                break
+            n_steps = min(self.max_steps, n_steps * 4)
+
+        backlog = vertical_deviation(arrival, avail, t_max=b)
+        if backlog > self.buffer_bits + 1e-9:
+            raise BufferOverflowError(
+                f"{self.name}: worst-case backlog {backlog:.6g} bits exceeds "
+                f"buffer {self.buffer_bits:.6g} bits"
+            )
+        delay = horizontal_deviation(arrival, avail, t_max=b)
+        if math.isinf(delay):
+            raise UnstableSystemError(
+                f"{self.name}: unbounded delay (service plateau below arrivals)"
+            )
+
+        # Theorem 1(4): output envelope, capped at the ring rate.
+        raw_output = deconvolve(arrival, avail, t_limit=b)
+        output = raw_output.minimum(Curve.affine(0.0, self.bandwidth))
+
+        return ServerAnalysis(
+            delay_bound=delay,
+            output=output,
+            backlog_bound=backlog,
+            busy_interval=b,
+        )
+
+    def cache_key(self):
+        return (
+            "fddi-mac",
+            self.sync_time,
+            self.ttrt,
+            self.bandwidth,
+            self.buffer_bits,
+            self.max_steps,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FDDIMacServer({self.name!r}, H={self.sync_time * 1e3:.4g}ms, "
+            f"TTRT={self.ttrt * 1e3:.4g}ms)"
+        )

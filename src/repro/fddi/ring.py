@@ -1,0 +1,105 @@
+"""FDDI ring state: TTRT, protocol overhead, synchronous-bandwidth ledger."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable
+
+from repro.errors import ConfigurationError
+from repro.units import MBIT
+
+
+@dataclasses.dataclass
+class FDDIRing:
+    """One FDDI ring and its synchronous-bandwidth bookkeeping.
+
+    The timed-token protocol requires that the sum of synchronous
+    allocations plus the protocol-dependent overhead ``Delta`` not exceed
+    the TTRT.  The CAC reads :attr:`available_sync_time` (Eqs. 26/27) before
+    choosing an allocation, then records it here.
+
+    Parameters
+    ----------
+    ring_id:
+        Identifier used in topology and reporting.
+    ttrt:
+        Target token rotation time, seconds.
+    bandwidth:
+        Ring transmission rate ``BW_FDDI``, bits/second (100 Mbps standard).
+    overhead:
+        ``Delta`` — protocol-dependent per-rotation overhead (token capture,
+        preambles, ring latency), seconds.
+    propagation_delay:
+        Worst-case bit propagation time between any two stations on the
+        ring (the Delay_Line server bound, Eq. 14), seconds.
+    """
+
+    ring_id: str
+    ttrt: float
+    bandwidth: float = 100.0 * MBIT
+    overhead: float = 0.0
+    propagation_delay: float = 0.0
+
+    def __post_init__(self):
+        if self.ttrt <= 0:
+            raise ConfigurationError("TTRT must be positive")
+        if self.bandwidth <= 0:
+            raise ConfigurationError("ring bandwidth must be positive")
+        if self.overhead < 0 or self.overhead >= self.ttrt:
+            raise ConfigurationError("overhead must be in [0, TTRT)")
+        if self.propagation_delay < 0:
+            raise ConfigurationError("propagation delay must be non-negative")
+        self._allocations: Dict[Hashable, float] = {}
+
+    # ------------------------------------------------------------------
+    # Ledger
+    # ------------------------------------------------------------------
+
+    @property
+    def allocated_sync_time(self) -> float:
+        """``Omega`` — total synchronous time currently allocated (s/rotation)."""
+        return sum(self._allocations.values())
+
+    @property
+    def available_sync_time(self) -> float:
+        """``H^max_avai = TTRT - (Omega + Delta)`` (Eqs. 26/27)."""
+        return self.ttrt - (self.allocated_sync_time + self.overhead)
+
+    def allocation_of(self, conn_id: Hashable) -> float:
+        """The synchronous time held by ``conn_id`` (0.0 if none)."""
+        return self._allocations.get(conn_id, 0.0)
+
+    def allocate(self, conn_id: Hashable, sync_time: float) -> None:
+        """Record an allocation of ``sync_time`` seconds/rotation.
+
+        Raises :class:`ConfigurationError` if the allocation is not positive,
+        the connection already holds one, or the TTRT budget would be
+        exceeded.
+        """
+        if sync_time <= 0:
+            raise ConfigurationError("allocation must be positive")
+        if conn_id in self._allocations:
+            raise ConfigurationError(f"{conn_id!r} already holds an allocation")
+        if sync_time > self.available_sync_time + 1e-12:
+            raise ConfigurationError(
+                f"allocation {sync_time:.6g}s exceeds available "
+                f"{self.available_sync_time:.6g}s on ring {self.ring_id}"
+            )
+        self._allocations[conn_id] = float(sync_time)
+
+    def release(self, conn_id: Hashable) -> float:
+        """Release and return the allocation held by ``conn_id``."""
+        if conn_id not in self._allocations:
+            raise ConfigurationError(f"{conn_id!r} holds no allocation here")
+        return self._allocations.pop(conn_id)
+
+    def sync_bits_per_rotation(self, conn_id: Hashable) -> float:
+        """Bits per token rotation guaranteed to ``conn_id``."""
+        return self.allocation_of(conn_id) * self.bandwidth
+
+    def __repr__(self) -> str:
+        return (
+            f"FDDIRing({self.ring_id!r}, TTRT={self.ttrt * 1e3:.3g}ms, "
+            f"allocated={self.allocated_sync_time * 1e3:.3g}ms, "
+            f"{len(self._allocations)} connections)"
+        )

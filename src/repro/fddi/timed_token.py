@@ -1,0 +1,67 @@
+"""Timed-token protocol timing facts.
+
+These are standard properties of the FDDI MAC (Johnson & Sevcik's theorems,
+used throughout refs [1, 11]): the token rotation time never exceeds
+``2 * TTRT``, a station's synchronous service is guaranteed once per
+rotation, and an allocation below the time to send one maximum frame is
+useless (frame transmission is not preemptible).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Maximum FDDI frame size in bits (4500 octets, per the standard).
+MAX_FRAME_BITS = 4500 * 8
+
+#: Token + preamble + header overhead per capture, seconds (conservative
+#: figure for 100 Mbps FDDI; a few microseconds in practice).
+TOKEN_OVERHEAD = 5e-6
+
+
+def max_token_rotation(ttrt: float) -> float:
+    """Upper bound on the time between consecutive token arrivals.
+
+    The timed-token protocol guarantees the token rotation time is at most
+    ``2 * TTRT`` (Johnson's theorem); the average is at most TTRT.
+    """
+    if ttrt <= 0:
+        raise ConfigurationError("TTRT must be positive")
+    return 2.0 * ttrt
+
+
+def min_sync_allocation(
+    bandwidth: float, frame_bits: float = MAX_FRAME_BITS
+) -> float:
+    """``H^min_abs`` — the smallest useful synchronous allocation (seconds).
+
+    An allocation must at least cover one maximum-size frame plus the token
+    capture overhead; anything smaller cannot transmit a single frame per
+    rotation and the overhead would "severely affect the throughput"
+    (Section 5.2).
+    """
+    if bandwidth <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    if frame_bits <= 0:
+        raise ConfigurationError("frame size must be positive")
+    return frame_bits / bandwidth + TOKEN_OVERHEAD
+
+
+def worst_case_token_wait(ttrt: float) -> float:
+    """Longest a station can wait for the first usable token visit.
+
+    In the worst case a station just misses the token and the next rotation
+    is a full ``2 * TTRT`` one — this is why ``avail(t)`` in Theorem 1 only
+    starts crediting service after the first full TTRT window has elapsed
+    (the ``floor(t / TTRT) - 1`` term).
+    """
+    return max_token_rotation(ttrt)
+
+
+def sync_capacity_check(
+    allocations: "list[float]", ttrt: float, overhead: float
+) -> bool:
+    """The protocol constraint: ``sum(H_i) + Delta <= TTRT``."""
+    if ttrt <= 0:
+        raise ConfigurationError("TTRT must be positive")
+    return sum(allocations) + overhead <= ttrt + 1e-12

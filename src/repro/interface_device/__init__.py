@@ -1,0 +1,18 @@
+"""Interface devices: the FDDI <-> ATM bridges of the ABHN architecture.
+
+Section 4.3.2 decomposes the sender-side interface device (ID_S) into four
+simple servers — input port, frame switch, frame->cell conversion
+(Theorem 2), and the ATM output port — and the receiver-side device (ID_R)
+is the mirror image with a cell->frame reassembly stage and a timed-token
+MAC transmitting frames onto the destination ring.
+"""
+
+from repro.interface_device.frame_cell import FrameCellConversionServer
+from repro.interface_device.cell_frame import CellFrameConversionServer
+from repro.interface_device.device import InterfaceDevice
+
+__all__ = [
+    "CellFrameConversionServer",
+    "FrameCellConversionServer",
+    "InterfaceDevice",
+]

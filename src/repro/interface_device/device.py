@@ -1,0 +1,114 @@
+"""The interface device joining one FDDI ring to the ATM backbone."""
+
+from __future__ import annotations
+
+import math
+
+from repro.atm.link import AtmLink
+from repro.atm.output_port import OutputPortServer
+from repro.errors import ConfigurationError, TopologyError
+from repro.servers.constant import ConstantDelayServer
+
+
+class InterfaceDevice:
+    """A LAN/ATM interface device (Figure 5 of the paper).
+
+    On the send path a frame traverses the device's input port, frame
+    switch, frame->cell converter and ATM output port; on the receive path,
+    cells traverse the input port, cell->frame reassembly and frame switch,
+    and the rebuilt frames are transmitted onto the destination ring by the
+    device's timed-token MAC (with the connection's ``H_R`` allocation).
+
+    The constant stage delays "can be measured or specified by the
+    manufacturer" (Eqs. 18/20/22); they are configuration here.
+
+    Parameters
+    ----------
+    device_id:
+        Identifier.
+    ring_id:
+        The FDDI ring this device bridges.
+    input_port_delay, frame_switch_delay:
+        The constant delays of Eqs. (18) and (20), seconds.
+    frame_processing_delay:
+        Theorem 2's maximum frame (dis)assembly time, seconds.
+    port_buffer_bits:
+        Buffer of the device's ATM-side output port (payload bits).
+    """
+
+    def __init__(
+        self,
+        device_id: str,
+        ring_id: str,
+        input_port_delay: float = 0.0,
+        frame_switch_delay: float = 0.0,
+        frame_processing_delay: float = 0.0,
+        port_buffer_bits: float = math.inf,
+        port_latency: float = 0.0,
+    ):
+        for label, value in [
+            ("input_port_delay", input_port_delay),
+            ("frame_switch_delay", frame_switch_delay),
+            ("frame_processing_delay", frame_processing_delay),
+            ("port_latency", port_latency),
+        ]:
+            if value < 0:
+                raise ConfigurationError(f"{label} must be non-negative")
+        self.device_id = device_id
+        self.ring_id = ring_id
+        self.input_port_delay = float(input_port_delay)
+        self.frame_switch_delay = float(frame_switch_delay)
+        self.frame_processing_delay = float(frame_processing_delay)
+        self._port_buffer_bits = port_buffer_bits
+        self._port_latency = port_latency
+        self._uplink: AtmLink = None
+        self._uplink_port: OutputPortServer = None
+
+    # ------------------------------------------------------------------
+    # ATM attachment
+    # ------------------------------------------------------------------
+
+    def attach_uplink(self, link: AtmLink) -> OutputPortServer:
+        """Attach the link into the ATM backbone; creates the egress port."""
+        if self._uplink is not None:
+            raise TopologyError(f"{self.device_id}: uplink already attached")
+        self._uplink = link
+        self._uplink_port = OutputPortServer(
+            link,
+            port_latency=self._port_latency,
+            buffer_bits=self._port_buffer_bits,
+            name=f"{self.device_id}:uplink",
+        )
+        return self._uplink_port
+
+    @property
+    def uplink(self) -> AtmLink:
+        if self._uplink is None:
+            raise TopologyError(f"{self.device_id}: no uplink attached")
+        return self._uplink
+
+    @property
+    def uplink_port(self) -> OutputPortServer:
+        """The Output_Port server of Figure 5 (shared across connections)."""
+        if self._uplink_port is None:
+            raise TopologyError(f"{self.device_id}: no uplink attached")
+        return self._uplink_port
+
+    # ------------------------------------------------------------------
+    # Constant-delay stage servers
+    # ------------------------------------------------------------------
+
+    def input_port_server(self) -> ConstantDelayServer:
+        """The Input_Port stage (Eq. 18) — constant delay, no reshaping."""
+        return ConstantDelayServer(
+            self.input_port_delay, name=f"{self.device_id}:input-port"
+        )
+
+    def frame_switch_server(self) -> ConstantDelayServer:
+        """The Frame_Switch stage (Eq. 20) — constant delay, no reshaping."""
+        return ConstantDelayServer(
+            self.frame_switch_delay, name=f"{self.device_id}:frame-switch"
+        )
+
+    def __repr__(self) -> str:
+        return f"InterfaceDevice({self.device_id!r} on ring {self.ring_id!r})"

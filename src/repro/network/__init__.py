@@ -1,0 +1,14 @@
+"""Network model: topology, routing, and connection objects."""
+
+from repro.network.topology import Host, NetworkTopology
+from repro.network.routing import Route, compute_route
+from repro.network.connection import ConnectionRecord, ConnectionSpec
+
+__all__ = [
+    "ConnectionRecord",
+    "ConnectionSpec",
+    "Host",
+    "NetworkTopology",
+    "Route",
+    "compute_route",
+]

@@ -1,0 +1,92 @@
+"""Route computation.
+
+The paper adopts existing routing solutions (Section 3.2); here a route is
+the natural one: source ring -> its interface device -> shortest backbone
+path -> destination ring's device -> destination ring.  Local routes (both
+hosts on the same ring) skip the backbone entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.errors import RoutingError
+from repro.network.topology import NetworkTopology
+
+
+@dataclasses.dataclass(frozen=True)
+class Route:
+    """The path of a connection through the heterogeneous network.
+
+    ``switch_path`` is empty for ring-local routes; otherwise it lists the
+    backbone switches in traversal order (at least one).
+    """
+
+    source_host: str
+    dest_host: str
+    source_ring: str
+    dest_ring: str
+    source_device: Optional[str]
+    dest_device: Optional[str]
+    switch_path: List[str]
+
+    @property
+    def crosses_backbone(self) -> bool:
+        return bool(self.switch_path)
+
+    def __str__(self) -> str:
+        if not self.crosses_backbone:
+            return f"{self.source_host} -> [{self.source_ring}] -> {self.dest_host}"
+        hops = " -> ".join(self.switch_path)
+        return (
+            f"{self.source_host} -> [{self.source_ring}] -> "
+            f"{self.source_device} -> ({hops}) -> {self.dest_device} -> "
+            f"[{self.dest_ring}] -> {self.dest_host}"
+        )
+
+
+def compute_route(
+    topology: NetworkTopology, source_host: str, dest_host: str
+) -> Route:
+    """The route from ``source_host`` to ``dest_host``.
+
+    Raises :class:`RoutingError` when either host is unknown, the hosts
+    coincide, or no backbone path exists.
+    """
+    if source_host == dest_host:
+        raise RoutingError("source and destination hosts must differ")
+    try:
+        src = topology.hosts[source_host]
+    except KeyError:
+        raise RoutingError(f"unknown host {source_host!r}") from None
+    try:
+        dst = topology.hosts[dest_host]
+    except KeyError:
+        raise RoutingError(f"unknown host {dest_host!r}") from None
+
+    if src.ring_id == dst.ring_id:
+        return Route(
+            source_host=source_host,
+            dest_host=dest_host,
+            source_ring=src.ring_id,
+            dest_ring=dst.ring_id,
+            source_device=None,
+            dest_device=None,
+            switch_path=[],
+        )
+
+    src_device = topology.device_of_ring(src.ring_id)
+    dst_device = topology.device_of_ring(dst.ring_id)
+    src_switch = topology.device_switch[src_device.device_id]
+    dst_switch = topology.device_switch[dst_device.device_id]
+    path = topology.backbone_path(src_switch, dst_switch)
+    return Route(
+        source_host=source_host,
+        dest_host=dest_host,
+        source_ring=src.ring_id,
+        dest_ring=dst.ring_id,
+        source_device=src_device.device_id,
+        dest_device=dst_device.device_id,
+        switch_path=path,
+    )

@@ -1,0 +1,242 @@
+"""Network topology: FDDI rings, hosts, interface devices, ATM backbone.
+
+The :class:`NetworkTopology` is the static description of an ABHN
+(Figure 1): every FDDI ring is bridged to the ATM backbone by exactly one
+interface device, and the backbone switches are joined by point-to-point
+links (one directed link — and hence one output port — per direction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.atm.link import AtmLink
+from repro.atm.output_port import OutputPortServer
+from repro.atm.switch import AtmSwitch
+from repro.errors import TopologyError
+from repro.fddi.ring import FDDIRing
+from repro.interface_device.device import InterfaceDevice
+
+
+@dataclasses.dataclass(frozen=True)
+class Host:
+    """A host attached to one FDDI ring."""
+
+    host_id: str
+    ring_id: str
+
+
+class NetworkTopology:
+    """The static FDDI-ATM-FDDI network description.
+
+    Build order: add rings, then hosts, then switches, then interface
+    devices (attaching each to a switch), then inter-switch links.
+    """
+
+    def __init__(self):
+        self.rings: Dict[str, FDDIRing] = {}
+        self.hosts: Dict[str, Host] = {}
+        self.switches: Dict[str, AtmSwitch] = {}
+        self.devices: Dict[str, InterfaceDevice] = {}
+        #: ring_id -> device_id (exactly one bridge per ring).
+        self.ring_device: Dict[str, str] = {}
+        #: device_id -> switch_id its uplink connects to.
+        self.device_switch: Dict[str, str] = {}
+        #: (switch_id, switch_id) -> AtmLink for each directed backbone link.
+        self._switch_links: Dict[Tuple[str, str], AtmLink] = {}
+        #: (switch_id, device_id) -> AtmLink for each downlink.
+        self._downlinks: Dict[Tuple[str, str], AtmLink] = {}
+        self._backbone = nx.DiGraph()
+        #: Directed backbone links currently failed (routing avoids them).
+        self._failed_links: set = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_ring(self, ring: FDDIRing) -> FDDIRing:
+        if ring.ring_id in self.rings:
+            raise TopologyError(f"ring {ring.ring_id!r} already exists")
+        self.rings[ring.ring_id] = ring
+        return ring
+
+    def add_host(self, host_id: str, ring_id: str) -> Host:
+        if host_id in self.hosts:
+            raise TopologyError(f"host {host_id!r} already exists")
+        if ring_id not in self.rings:
+            raise TopologyError(f"unknown ring {ring_id!r}")
+        host = Host(host_id, ring_id)
+        self.hosts[host_id] = host
+        return host
+
+    def add_switch(self, switch: AtmSwitch) -> AtmSwitch:
+        if switch.switch_id in self.switches:
+            raise TopologyError(f"switch {switch.switch_id!r} already exists")
+        self.switches[switch.switch_id] = switch
+        self._backbone.add_node(switch.switch_id)
+        return switch
+
+    def add_device(
+        self,
+        device: InterfaceDevice,
+        switch_id: str,
+        uplink_rate: float,
+        link_propagation: float = 0.0,
+        downlink_buffer_bits: float = math.inf,
+    ) -> InterfaceDevice:
+        """Attach ``device`` to its ring and to ``switch_id``.
+
+        Creates both directed links: the device's uplink into the switch
+        (output port owned by the device) and the switch's downlink to the
+        device (output port owned by the switch).
+        """
+        if device.device_id in self.devices:
+            raise TopologyError(f"device {device.device_id!r} already exists")
+        if device.ring_id not in self.rings:
+            raise TopologyError(f"unknown ring {device.ring_id!r}")
+        if device.ring_id in self.ring_device:
+            raise TopologyError(f"ring {device.ring_id!r} already has a device")
+        if switch_id not in self.switches:
+            raise TopologyError(f"unknown switch {switch_id!r}")
+        uplink = AtmLink(
+            f"{device.device_id}->{switch_id}",
+            rate=uplink_rate,
+            propagation_delay=link_propagation,
+        )
+        device.attach_uplink(uplink)
+        downlink = AtmLink(
+            f"{switch_id}->{device.device_id}",
+            rate=uplink_rate,
+            propagation_delay=link_propagation,
+        )
+        self.switches[switch_id].attach_link(downlink)
+        self.devices[device.device_id] = device
+        self.ring_device[device.ring_id] = device.device_id
+        self.device_switch[device.device_id] = switch_id
+        self._downlinks[(switch_id, device.device_id)] = downlink
+        return device
+
+    def connect_switches(
+        self,
+        a: str,
+        b: str,
+        rate: float,
+        propagation_delay: float = 0.0,
+        bidirectional: bool = True,
+    ) -> None:
+        """Create the directed link(s) between two backbone switches."""
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for src, dst in pairs:
+            if src not in self.switches or dst not in self.switches:
+                raise TopologyError(f"unknown switch in pair ({src!r}, {dst!r})")
+            if (src, dst) in self._switch_links:
+                raise TopologyError(f"link {src}->{dst} already exists")
+            link = AtmLink(
+                f"{src}->{dst}", rate=rate, propagation_delay=propagation_delay
+            )
+            self.switches[src].attach_link(link)
+            self._switch_links[(src, dst)] = link
+            self._backbone.add_edge(src, dst, weight=propagation_delay + 1.0)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def device_of_ring(self, ring_id: str) -> InterfaceDevice:
+        try:
+            return self.devices[self.ring_device[ring_id]]
+        except KeyError:
+            raise TopologyError(f"ring {ring_id!r} has no interface device") from None
+
+    def switch_link(self, a: str, b: str) -> AtmLink:
+        try:
+            return self._switch_links[(a, b)]
+        except KeyError:
+            raise TopologyError(f"no backbone link {a}->{b}") from None
+
+    def downlink(self, switch_id: str, device_id: str) -> AtmLink:
+        try:
+            return self._downlinks[(switch_id, device_id)]
+        except KeyError:
+            raise TopologyError(f"no downlink {switch_id}->{device_id}") from None
+
+    def switch_port(self, a: str, b: str) -> OutputPortServer:
+        """Output port on switch ``a`` feeding the link to switch ``b``."""
+        return self.switches[a].port(self.switch_link(a, b).link_id)
+
+    def downlink_port(self, switch_id: str, device_id: str) -> OutputPortServer:
+        """Output port on ``switch_id`` feeding the downlink to the device."""
+        return self.switches[switch_id].port(
+            self.downlink(switch_id, device_id).link_id
+        )
+
+    # ------------------------------------------------------------------
+    # Failure handling (fault tolerance, after ref [4])
+    # ------------------------------------------------------------------
+
+    def fail_link(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Mark the backbone link ``a -> b`` (and back) as failed.
+
+        Routing refuses to traverse failed links; already-established
+        connections are the caller's problem (see
+        :class:`repro.core.failover.FailoverManager`).
+        """
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for src, dst in pairs:
+            if (src, dst) not in self._switch_links:
+                raise TopologyError(f"no backbone link {src}->{dst}")
+            if (src, dst) in self._failed_links:
+                raise TopologyError(f"link {src}->{dst} already failed")
+            self._failed_links.add((src, dst))
+            self._backbone.remove_edge(src, dst)
+
+    def restore_link(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Bring a failed backbone link back into service."""
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for src, dst in pairs:
+            if (src, dst) not in self._failed_links:
+                raise TopologyError(f"link {src}->{dst} is not failed")
+            self._failed_links.discard((src, dst))
+            link = self._switch_links[(src, dst)]
+            self._backbone.add_edge(src, dst, weight=link.propagation_delay + 1.0)
+
+    def is_link_failed(self, a: str, b: str) -> bool:
+        return (a, b) in self._failed_links
+
+    @property
+    def failed_links(self) -> List[Tuple[str, str]]:
+        return sorted(self._failed_links)
+
+    def backbone_path(self, src_switch: str, dst_switch: str) -> List[str]:
+        """Shortest backbone path (list of switch ids, inclusive)."""
+        if src_switch == dst_switch:
+            return [src_switch]
+        try:
+            return nx.shortest_path(
+                self._backbone, src_switch, dst_switch, weight="weight"
+            )
+        except nx.NetworkXNoPath:
+            raise TopologyError(
+                f"no backbone path from {src_switch} to {dst_switch}"
+            ) from None
+
+    def hosts_on_ring(self, ring_id: str) -> List[Host]:
+        return [h for h in self.hosts.values() if h.ring_id == ring_id]
+
+    def validate(self) -> None:
+        """Check structural completeness (every ring bridged, backbone connected)."""
+        for ring_id in self.rings:
+            if ring_id not in self.ring_device:
+                raise TopologyError(f"ring {ring_id!r} has no interface device")
+        if len(self.switches) > 1 and not nx.is_strongly_connected(self._backbone):
+            raise TopologyError("backbone is not strongly connected")
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkTopology({len(self.rings)} rings, {len(self.hosts)} hosts, "
+            f"{len(self.switches)} switches)"
+        )

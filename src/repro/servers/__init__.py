@@ -1,0 +1,22 @@
+"""Server abstractions for the decomposition analysis of Section 4.
+
+Every network component a connection traverses is modeled as a *server* that
+(1) delays the connection's traffic by a bounded amount and (2) emits the
+traffic with a (possibly reshaped) output envelope.  Compound servers
+(FDDI_S, ID_S, ...) are chains of simple servers; the end-to-end bound is
+the sum over the chain (Eq. 7).
+"""
+
+from repro.servers.base import DedicatedServer, ServerAnalysis, SharedServer
+from repro.servers.constant import ConstantDelayServer
+from repro.servers.compound import ServerChain
+from repro.servers.regulator import RegulatorServer
+
+__all__ = [
+    "ConstantDelayServer",
+    "DedicatedServer",
+    "RegulatorServer",
+    "ServerAnalysis",
+    "ServerChain",
+    "SharedServer",
+]

@@ -1,0 +1,29 @@
+"""Discrete-event simulation: the evaluation harness of Section 6.
+
+* :mod:`repro.sim.engine` — a small deterministic event-queue kernel (built
+  from scratch; no external DES dependency is available offline).
+* :mod:`repro.sim.random` — named, independently seeded random streams so
+  every experiment is reproducible.
+* :mod:`repro.sim.metrics` — counters and interval statistics.
+* :mod:`repro.sim.connection_sim` — the paper's experiment: Poisson
+  connection requests with exponential lifetimes against the CAC, measuring
+  admission probability (Figures 7 and 8).
+* :mod:`repro.sim.packet_sim` — a packet/cell-level simulator of the data
+  path used to validate the analytic worst-case bounds.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.metrics import RunningStats, SimulationMetrics
+from repro.sim.connection_sim import ConnectionSimConfig, ConnectionSimulator, SimResult
+
+__all__ = [
+    "ConnectionSimConfig",
+    "ConnectionSimulator",
+    "Event",
+    "RandomStreams",
+    "RunningStats",
+    "SimResult",
+    "SimulationMetrics",
+    "Simulator",
+]

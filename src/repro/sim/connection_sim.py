@@ -1,0 +1,201 @@
+"""The paper's evaluation harness (Section 6).
+
+Connection requests arrive as a Poisson process with rate ``lambda``; each
+picks a source host uniformly among the currently *inactive* hosts and a
+destination on a different ring (routes always cross the ATM backbone, as
+in the paper); traffic is dual-periodic; admitted connections live for an
+exponentially distributed time with mean ``1/mu``.  The measured metric is
+the admission probability AP = admitted / requests.
+
+The backbone load knob is the paper's ``U``: the average utilization of one
+backbone link, ``U = (lambda / (n_links * mu)) * rho / C_link`` — the
+simulator inverts this to set ``lambda``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.config import CACConfig, NetworkConfig, SimulationConfig, build_network
+from repro.core.cac import AdmissionController
+from repro.core.policies import AllocationPolicy
+from repro.network.connection import ConnectionSpec
+from repro.sim.engine import Simulator
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.random import RandomStreams
+from repro.traffic.generators import WorkloadGenerator
+
+
+@dataclasses.dataclass(frozen=True)
+class ConnectionSimConfig:
+    """One simulation run's parameters."""
+
+    utilization: float
+    beta: float = 0.5
+    seed: int = 1
+    #: Stop after this many connection requests (the paper's AP estimator).
+    n_requests: int = 400
+    #: Warm-up requests excluded from the AP estimate.
+    warmup_requests: int = 40
+    network: NetworkConfig = dataclasses.field(default_factory=NetworkConfig)
+    simulation: SimulationConfig = dataclasses.field(default_factory=SimulationConfig)
+    cac: Optional[CACConfig] = None
+
+    def cac_config(self) -> CACConfig:
+        if self.cac is not None:
+            return self.cac
+        return CACConfig(beta=self.beta)
+
+
+@dataclasses.dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulation run."""
+
+    config: ConnectionSimConfig
+    admission_probability: float
+    metrics: SimulationMetrics
+    sim_time: float
+
+
+class ConnectionSimulator:
+    """Drives the CAC with the paper's stochastic workload."""
+
+    def __init__(
+        self,
+        config: ConnectionSimConfig,
+        policy: Optional[AllocationPolicy] = None,
+        workload_generator=None,
+    ):
+        self.config = config
+        self.topology = build_network(config.network)
+        self.cac = AdmissionController(
+            self.topology,
+            network_config=config.network,
+            cac_config=config.cac_config(),
+            policy=policy,
+        )
+        self.streams = RandomStreams(config.seed)
+        if workload_generator is not None:
+            # Caller-supplied generator (e.g. a MixedWorkloadGenerator);
+            # must expose .sample() -> (traffic, deadline) and .mean_rate.
+            self.workload = workload_generator
+        else:
+            self.workload = WorkloadGenerator(
+                config.simulation.workload, self.streams.stream("workload")
+            )
+        self.sim = Simulator()
+        self.metrics = SimulationMetrics()
+        self.arrival_rate = config.simulation.arrival_rate_for_utilization(
+            config.utilization, config.network
+        )
+        self._active_hosts: set = set()
+        self._counter = 0
+        self._measuring = False
+
+    # ------------------------------------------------------------------
+
+    def _eligible_sources(self) -> List[str]:
+        return sorted(
+            h for h in self.topology.hosts if h not in self._active_hosts
+        )
+
+    def _pick_destination(self, source: str) -> str:
+        """A host on a *different* ring (routes always cross the backbone)."""
+        src_ring = self.topology.hosts[source].ring_id
+        candidates = sorted(
+            h
+            for h, host in self.topology.hosts.items()
+            if host.ring_id != src_ring
+        )
+        return self.streams.choice("destination", candidates)
+
+    def _schedule_next_arrival(self) -> None:
+        gap = self.streams.exponential("arrivals", 1.0 / self.arrival_rate)
+        self.sim.schedule(gap, self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        self._counter += 1
+        if self._counter > self.config.n_requests:
+            return  # stop generating load
+        if self._counter > self.config.warmup_requests:
+            self._measuring = True
+        self._schedule_next_arrival()
+
+        if self._measuring:
+            self.metrics.n_requests += 1
+        sources = self._eligible_sources()
+        if not sources:
+            if self._measuring:
+                self.metrics.n_blocked_no_host += 1
+                if self.config.simulation.count_host_blocked:
+                    self.metrics.n_rejected_cac += 1
+            return
+        source = self.streams.choice("source", sources)
+        dest = self._pick_destination(source)
+        traffic, deadline = self.workload.sample()
+        spec = ConnectionSpec(
+            f"conn-{self._counter}", source, dest, traffic, deadline
+        )
+        result = self.cac.request(spec)
+        if result.admitted:
+            self._active_hosts.add(source)
+            if self._measuring:
+                self.metrics.n_admitted += 1
+                self.metrics.delay_bounds.add(result.record.delay_bound)
+                self.metrics.grants.add(result.record.h_source)
+            self.metrics.record_active_change(self.sim.now, +1)
+            lifetime = self.streams.exponential(
+                "lifetimes", self.config.simulation.mean_lifetime
+            )
+            self.sim.schedule(
+                lifetime, lambda cid=spec.conn_id, host=source: self._on_departure(cid, host)
+            )
+        else:
+            if self._measuring:
+                self.metrics.n_rejected_cac += 1
+                if "bandwidth" in result.reason:
+                    self.metrics.n_rejected_no_bandwidth += 1
+                else:
+                    self.metrics.n_rejected_infeasible += 1
+
+    def _on_departure(self, conn_id: str, host: str) -> None:
+        self.cac.release(conn_id)
+        self._active_hosts.discard(host)
+        self.metrics.n_departures += 1
+        self.metrics.record_active_change(self.sim.now, -1)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Run until ``n_requests`` requests have been issued."""
+        self._schedule_next_arrival()
+        while self._counter <= self.config.n_requests and self.sim.step():
+            pass
+        return SimResult(
+            config=self.config,
+            admission_probability=self.metrics.admission_probability,
+            metrics=self.metrics,
+            sim_time=self.sim.now,
+        )
+
+
+def run_admission_probability(
+    utilization: float,
+    beta: float,
+    seed: int = 1,
+    n_requests: int = 400,
+    policy: Optional[AllocationPolicy] = None,
+    simulation: Optional[SimulationConfig] = None,
+    network: Optional[NetworkConfig] = None,
+) -> SimResult:
+    """Convenience wrapper: one (U, beta) point of Figures 7/8."""
+    cfg = ConnectionSimConfig(
+        utilization=utilization,
+        beta=beta,
+        seed=seed,
+        n_requests=n_requests,
+        network=network or NetworkConfig(),
+        simulation=simulation or SimulationConfig(),
+    )
+    return ConnectionSimulator(cfg, policy=policy).run()

@@ -1,0 +1,102 @@
+"""A minimal deterministic discrete-event simulation kernel.
+
+Events are ``(time, sequence, callback)`` triples in a binary heap; the
+sequence number makes simultaneous events fire in scheduling order, so runs
+are exactly reproducible.  Callbacks may schedule further events and may
+cancel previously scheduled ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import math
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled event.  Ordered by (time, seq) for the heap."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when it surfaces."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0 or not math.isfinite(delay):
+            raise SimulationError(f"invalid event delay {delay!r}")
+        event = Event(self.now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < {self.now})"
+            )
+        return self.schedule(when - self.now, callback)
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event (None if the queue is empty)."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now - 1e-12:
+                raise SimulationError("event queue went backwards in time")
+            self.now = max(self.now, event.time)
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, t_end: float, max_events: int = 50_000_000) -> None:
+        """Run events up to (and including) time ``t_end``."""
+        count = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > t_end:
+                break
+            self.step()
+            count += 1
+            if count > max_events:
+                raise SimulationError("event budget exhausted (runaway model?)")
+        self.now = max(self.now, t_end)
+
+    def run(self, max_events: int = 50_000_000) -> None:
+        """Run until the event queue drains."""
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise SimulationError("event budget exhausted (runaway model?)")

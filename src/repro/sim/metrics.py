@@ -1,0 +1,89 @@
+"""Statistics collection for the simulations."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+
+class RunningStats:
+    """Streaming mean/variance (Welford) with min/max tracking."""
+
+    def __init__(self):
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else math.nan
+
+    @property
+    def stddev(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan  # NaN-safe
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean (95% by default)."""
+        if self.n < 2:
+            return (math.nan, math.nan)
+        half = z * self.stddev / math.sqrt(self.n)
+        return (self.mean - half, self.mean + half)
+
+
+@dataclasses.dataclass
+class SimulationMetrics:
+    """Counters gathered during a connection-level simulation run."""
+
+    n_requests: int = 0
+    n_admitted: int = 0
+    n_rejected_cac: int = 0
+    n_blocked_no_host: int = 0
+    n_departures: int = 0
+    #: Rejections split by cause: ring synchronous-bandwidth exhaustion
+    #: ("no synchronous bandwidth available") vs deadline infeasibility.
+    n_rejected_no_bandwidth: int = 0
+    n_rejected_infeasible: int = 0
+    #: Time-weighted number of active connections.
+    _active_area: float = 0.0
+    _last_change: float = 0.0
+    _active_now: int = 0
+    #: Delay-bound statistics of admitted connections.
+    delay_bounds: RunningStats = dataclasses.field(default_factory=RunningStats)
+    #: Granted H_S statistics (seconds of synchronous time).
+    grants: RunningStats = dataclasses.field(default_factory=RunningStats)
+
+    def record_active_change(self, now: float, delta: int) -> None:
+        self._active_area += self._active_now * (now - self._last_change)
+        self._last_change = now
+        self._active_now += delta
+
+    def mean_active(self, now: float) -> float:
+        area = self._active_area + self._active_now * (now - self._last_change)
+        return area / now if now > 0 else 0.0
+
+    @property
+    def admission_probability(self) -> float:
+        denom = self.n_admitted + self.n_rejected_cac
+        return self.n_admitted / denom if denom else math.nan
+
+    @property
+    def admission_probability_including_blocked(self) -> float:
+        if self.n_requests == 0:
+            return math.nan
+        return self.n_admitted / self.n_requests

@@ -1,0 +1,391 @@
+"""Packet/cell-level simulation of the FDDI-ATM-FDDI data path.
+
+This simulator *executes* the network the analysis of Section 4 only
+bounds: a rotating timed token serves each station's synchronous queue for
+at most ``H`` seconds per visit, interface devices forward traffic into
+FIFO ATM output-port queues drained at the link payload rate, and the
+receiving device's per-connection allocation transmits rebuilt frames onto
+the destination ring.
+
+Its purpose is validation: for any admitted connection set, every observed
+end-to-end packet delay must stay below the analytic worst-case bound the
+CAC computed (experiment E3 in DESIGN.md).  Sources emit their greedy
+worst-case trajectories to stress the bound.
+
+Modeling notes (all err on the side of *under*-loading the simulated
+network relative to the analysis, so the bound must still dominate):
+
+* bits flow in "chunks" (one chunk per token visit / port service);
+* cell padding is not added on the ATM side;
+* the token rotates immediately when queues are idle (the analysis instead
+  assumes the worst token phase).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import NetworkConfig
+from repro.core.delay import ConnectionLoad
+from repro.network.topology import NetworkTopology
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class _Batch:
+    """One source arrival event: ``bits`` offered at ``arrival_time``."""
+
+    batch_id: int
+    conn_id: str
+    arrival_time: float
+    bits: float
+    delivered: float = 0.0
+    completion_time: Optional[float] = None
+
+
+@dataclasses.dataclass
+class _Chunk:
+    """Bits in flight, sliced FIFO from one connection's queue."""
+
+    conn_id: str
+    slices: List[Tuple[_Batch, float]]
+
+    @property
+    def bits(self) -> float:
+        return sum(b for _, b in self.slices)
+
+
+class _Station:
+    """A synchronous transmitter on a ring (a host or one ID allocation)."""
+
+    def __init__(self, key: str, sync_time: float, on_transmit):
+        self.key = key
+        self.sync_time = sync_time
+        self.queue: deque = deque()  # of (_Batch, bits_remaining)
+        self.on_transmit: Callable[[_Chunk, float], None] = on_transmit
+
+    @property
+    def backlog(self) -> float:
+        return sum(b for _, b in self.queue)
+
+    def enqueue(self, batch: _Batch, bits: float) -> None:
+        self.queue.append((batch, bits))
+
+    def enqueue_chunk(self, chunk: _Chunk) -> None:
+        """Requeue a forwarded chunk's slices (the ID_R MAC queue)."""
+        for batch, bits in chunk.slices:
+            self.queue.append((batch, bits))
+
+    def take(self, max_bits: float) -> Optional[_Chunk]:
+        if not self.queue or max_bits <= 0:
+            return None
+        slices: List[Tuple[_Batch, float]] = []
+        remaining = max_bits
+        while self.queue and remaining > 1e-9:
+            batch, bits = self.queue[0]
+            grab = min(bits, remaining)
+            slices.append((batch, grab))
+            remaining -= grab
+            if grab >= bits - 1e-9:
+                self.queue.popleft()
+            else:
+                self.queue[0] = (batch, bits - grab)
+        if not slices:
+            return None
+        return _Chunk(conn_id=slices[0][0].conn_id, slices=slices)
+
+
+class _TokenRing:
+    """Timed-token rotation over the ring's stations.
+
+    The protocol overhead ``Delta`` is charged once per complete rotation
+    (as the analysis assumes), so adding stations or traffic can only slow
+    every other station down — never speed it up.
+    """
+
+    def __init__(
+        self,
+        ring,
+        stations: List[_Station],
+        sim: Simulator,
+        wake_delay: float = 0.0,
+    ):
+        self.ring = ring
+        self.stations = stations
+        self.sim = sim
+        self.parked = True
+        self.position = 0
+        #: Adversarial token phase: when traffic arrives at an idle ring the
+        #: token is assumed to have *just left*, so the first service waits
+        #: this long (up to a full rotation).  0 = benign phasing.
+        self.wake_delay = wake_delay
+
+    def _advance_gap(self) -> float:
+        """Token hand-off latency to the next station."""
+        next_pos = (self.position + 1) % len(self.stations)
+        # Full rotation overhead lands on the wrap back to station 0.
+        return self.ring.overhead if next_pos == 0 else 0.0
+
+    def wake(self) -> None:
+        if self.parked:
+            self.parked = False
+            self.sim.schedule(self.wake_delay, self._visit)
+
+    def _visit(self) -> None:
+        if all(st.backlog <= 1e-9 for st in self.stations):
+            self.parked = True
+            return
+        station = self.stations[self.position]
+        gap = self._advance_gap()
+        self.position = (self.position + 1) % len(self.stations)
+        budget_bits = station.sync_time * self.ring.bandwidth
+        chunk = station.take(budget_bits)
+        if chunk is None:
+            self.sim.schedule(gap, self._visit)
+            return
+        txn = chunk.bits / self.ring.bandwidth
+        done_at = txn + self.ring.propagation_delay
+        self.sim.schedule(done_at, lambda c=chunk: station.on_transmit(c, self.sim.now))
+        self.sim.schedule(txn + gap, self._visit)
+
+
+class _FifoPort:
+    """A FIFO queue drained at the link payload rate."""
+
+    def __init__(
+        self,
+        rate: float,
+        extra_delay: float,
+        sim: Simulator,
+        forward: Callable[[_Chunk], None],
+    ):
+        self.rate = rate
+        self.extra_delay = extra_delay
+        self.sim = sim
+        self.forward = forward
+        self.queue: deque = deque()
+        self.busy = False
+
+    def enqueue(self, chunk: _Chunk) -> None:
+        self.queue.append(chunk)
+        if not self.busy:
+            self.busy = True
+            self._serve()
+
+    def _serve(self) -> None:
+        if not self.queue:
+            self.busy = False
+            return
+        chunk = self.queue.popleft()
+        txn = chunk.bits / self.rate
+
+        def done(c=chunk):
+            self.sim.schedule(self.extra_delay, lambda: self.forward(c))
+            self._serve()
+
+        self.sim.schedule(txn, done)
+
+
+@dataclasses.dataclass(frozen=True)
+class PacketSimResult:
+    """Observed delays for each connection."""
+
+    max_delay: Dict[str, float]
+    mean_delay: Dict[str, float]
+    delivered_batches: Dict[str, int]
+
+    def worst_observed(self, conn_id: str) -> float:
+        return self.max_delay.get(conn_id, 0.0)
+
+
+class PacketLevelSimulator:
+    """Simulates the data path for a fixed, already-admitted connection set."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        loads: Sequence[ConnectionLoad],
+        network_config: Optional[NetworkConfig] = None,
+        adversarial_phase: bool = False,
+    ):
+        self.topology = topology
+        self.loads = list(loads)
+        self.config = network_config or NetworkConfig()
+        #: When set, every ring assumes a worst-phase token on wake-up (the
+        #: token just left: one full TTRT of dead time before first service)
+        #: — closer to the analysis' assumption and a tighter stress of the
+        #: bound.
+        self.adversarial_phase = adversarial_phase
+        self.sim = Simulator()
+        self._batches: List[_Batch] = []
+        self._rings: Dict[str, _TokenRing] = {}
+        self._ports: Dict[str, _FifoPort] = {}
+        self._dest_station: Dict[str, _Station] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        ring_stations: Dict[str, List[_Station]] = {
+            ring_id: [] for ring_id in self.topology.rings
+        }
+
+        # ATM fabric: one FIFO per output port a load traverses.
+        def port_for(name: str, rate: float, extra: float, forward) -> _FifoPort:
+            if name not in self._ports:
+                self._ports[name] = _FifoPort(rate, extra, self.sim, forward)
+            return self._ports[name]
+
+        for load in self.loads:
+            route = load.route
+            conn_id = load.spec.conn_id
+            if not route.crosses_backbone:
+                # Local: source station delivers straight to the host.
+                station = _Station(
+                    conn_id,
+                    load.h_source,
+                    lambda chunk, now, cid=conn_id: self._deliver(chunk, now),
+                )
+                ring_stations[route.source_ring].append(station)
+                self._register_source(load, station, route.source_ring)
+                continue
+
+            src_dev = self.topology.devices[route.source_device]
+            dst_dev = self.topology.devices[route.dest_device]
+            path = route.switch_path
+
+            # Destination-side station (the ID's allocation on ring R).
+            dest_station = _Station(
+                f"{conn_id}@{dst_dev.device_id}",
+                load.h_dest,
+                lambda chunk, now: self._deliver(chunk, now),
+            )
+            ring_stations[route.dest_ring].append(dest_station)
+            self._dest_station[conn_id] = dest_station
+
+            # Chain construction, back to front.
+            dest_ring = self.topology.rings[route.dest_ring]
+
+            def into_dest_ring(chunk, cid=conn_id, dev=dst_dev, ring_id=route.dest_ring):
+                delay = (
+                    dev.input_port_delay
+                    + dev.frame_processing_delay
+                    + dev.frame_switch_delay
+                )
+                def arrive(c=chunk):
+                    self._dest_station[cid].enqueue_chunk(c)
+                    self._rings[ring_id].wake()
+                self.sim.schedule(delay, arrive)
+
+            # Last switch port -> downlink to the destination device.
+            last_switch = path[-1]
+            downlink = self.topology.downlink(last_switch, dst_dev.device_id)
+            next_stage = port_for(
+                downlink.link_id,
+                downlink.payload_rate,
+                self.config.port_latency + downlink.propagation_delay,
+                into_dest_ring,
+            )
+
+            # Inter-switch ports, from the end back to the first switch.
+            for idx in range(len(path) - 2, -1, -1):
+                link = self.topology.switch_link(path[idx], path[idx + 1])
+                switch = self.topology.switches[path[idx + 1]]
+                stage_after = next_stage
+
+                def through_fabric(chunk, sw=switch, nxt=stage_after):
+                    self.sim.schedule(sw.fabric_delay, lambda c=chunk: nxt.enqueue(c))
+
+                next_stage = port_for(
+                    link.link_id,
+                    link.payload_rate,
+                    self.config.port_latency + link.propagation_delay,
+                    through_fabric,
+                )
+
+            first_switch_stage = next_stage
+            first_switch = self.topology.switches[path[0]]
+
+            uplink = src_dev.uplink
+            def into_backbone(chunk, sw=first_switch, nxt=first_switch_stage):
+                self.sim.schedule(sw.fabric_delay, lambda c=chunk: nxt.enqueue(c))
+
+            uplink_port = port_for(
+                uplink.link_id,
+                uplink.payload_rate,
+                self.config.port_latency + uplink.propagation_delay,
+                into_backbone,
+            )
+
+            def into_id(chunk, now, dev=src_dev, port=uplink_port):
+                delay = (
+                    dev.input_port_delay
+                    + dev.frame_switch_delay
+                    + dev.frame_processing_delay
+                )
+                self.sim.schedule(delay, lambda c=chunk: port.enqueue(c))
+
+            src_station = _Station(conn_id, load.h_source, into_id)
+            ring_stations[route.source_ring].append(src_station)
+            self._register_source(load, src_station, route.source_ring)
+
+        # Build the token rings.
+        for ring_id, stations in ring_stations.items():
+            ring = self.topology.rings[ring_id]
+            wake_delay = ring.ttrt if self.adversarial_phase else 0.0
+            self._rings[ring_id] = _TokenRing(
+                ring, stations, self.sim, wake_delay=wake_delay
+            )
+
+    def _register_source(self, load: ConnectionLoad, station: _Station, ring_id: str):
+        if not hasattr(self, "_sources"):
+            self._sources: List[Tuple[ConnectionLoad, _Station, str]] = []
+        self._sources.append((load, station, ring_id))
+
+    def _deliver(self, chunk: _Chunk, now: float) -> None:
+        for batch, bits in chunk.slices:
+            batch.delivered += bits
+            if batch.delivered >= batch.bits - 1e-6 and batch.completion_time is None:
+                batch.completion_time = now
+
+    # ------------------------------------------------------------------
+
+    def run(self, duration: float) -> PacketSimResult:
+        """Inject worst-case source trajectories and run for ``duration``."""
+        batch_counter = 0
+        for load, station, ring_id in self._sources:
+            for when, bits in load.spec.traffic.worst_case_arrivals(duration):
+                if when > duration:
+                    break
+                batch = _Batch(batch_counter, load.spec.conn_id, when, bits)
+                batch_counter += 1
+                self._batches.append(batch)
+
+                def inject(b=batch, st=station, rid=ring_id):
+                    st.enqueue(b, b.bits)
+                    self._rings[rid].wake()
+
+                self.sim.schedule_at(when, inject)
+        # Drain: run past the duration so queued bits complete.
+        self.sim.run_until(duration * 3 + 1.0)
+
+        max_delay: Dict[str, float] = {}
+        sum_delay: Dict[str, float] = {}
+        count: Dict[str, int] = {}
+        for batch in self._batches:
+            if batch.completion_time is None:
+                continue
+            d = batch.completion_time - batch.arrival_time
+            cid = batch.conn_id
+            max_delay[cid] = max(max_delay.get(cid, 0.0), d)
+            sum_delay[cid] = sum_delay.get(cid, 0.0) + d
+            count[cid] = count.get(cid, 0) + 1
+        mean_delay = {cid: sum_delay[cid] / count[cid] for cid in count}
+        return PacketSimResult(
+            max_delay=max_delay, mean_delay=mean_delay, delivered_batches=count
+        )
+
+

@@ -1,0 +1,121 @@
+"""Random workload generation for the simulation experiments.
+
+The paper's evaluation draws connection requests with dual-periodic source
+traffic and a deadline; the exact distributions are not published, so the
+generator exposes every knob (documented defaults live in
+:mod:`repro.config`).  All randomness flows through an injected
+``random.Random`` so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.traffic.dual_periodic import DualPeriodicTraffic
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Distribution of a randomly drawn real-time connection request.
+
+    The source is dual-periodic with outer budget ``c1`` per ``p1`` and inner
+    budget ``c2`` per ``p2``; each request scales ``c1``/``c2`` by a uniform
+    jitter in ``[1 - jitter, 1 + jitter]``.  The deadline is drawn uniformly
+    from ``[deadline_min, deadline_max]``.
+    """
+
+    c1: float
+    p1: float
+    c2: float
+    p2: float
+    deadline_min: float
+    deadline_max: float
+    jitter: float = 0.0
+    peak: float = float("inf")
+
+    def __post_init__(self):
+        if not (0.0 <= self.jitter < 1.0):
+            raise ConfigurationError("jitter must be in [0, 1)")
+        if self.deadline_min <= 0 or self.deadline_max < self.deadline_min:
+            raise ConfigurationError("deadline range must be positive and ordered")
+        # Delegate traffic-parameter validation to the descriptor itself.
+        DualPeriodicTraffic(self.c1, self.p1, self.c2, self.p2, self.peak)
+
+    @property
+    def mean_rate(self) -> float:
+        """The expected long-term rate of a generated connection (C1/P1)."""
+        return self.c1 / self.p1
+
+
+class WorkloadGenerator:
+    """Draws connection requests from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec, rng: random.Random):
+        self.spec = spec
+        self._rng = rng
+
+    def sample(self) -> Tuple[DualPeriodicTraffic, float]:
+        """Return ``(traffic, deadline)`` for one connection request."""
+        spec = self.spec
+        if spec.jitter > 0:
+            factor = self._rng.uniform(1.0 - spec.jitter, 1.0 + spec.jitter)
+        else:
+            factor = 1.0
+        traffic = DualPeriodicTraffic(
+            c1=spec.c1 * factor,
+            p1=spec.p1,
+            c2=spec.c2 * factor,
+            p2=spec.p2,
+            peak=spec.peak,
+        )
+        deadline = self._rng.uniform(spec.deadline_min, spec.deadline_max)
+        return traffic, deadline
+
+
+class MixedWorkloadGenerator:
+    """A weighted mixture of connection classes (video / audio / control…).
+
+    Each draw first picks a class by weight, then samples that class's
+    :class:`WorkloadSpec`.  The mixture's ``mean_rate`` (used by the
+    utilization formula) is the weighted average of the classes'.
+    """
+
+    def __init__(
+        self,
+        classes: "list[Tuple[str, float, WorkloadSpec]]",
+        rng: random.Random,
+    ):
+        """``classes`` is a list of ``(name, weight, spec)`` triples."""
+        if not classes:
+            raise ConfigurationError("need at least one workload class")
+        total = sum(w for _, w, _ in classes)
+        if total <= 0 or any(w < 0 for _, w, _ in classes):
+            raise ConfigurationError("weights must be non-negative, sum > 0")
+        self._names = [name for name, _, _ in classes]
+        self._weights = [w / total for _, w, _ in classes]
+        self._generators = {
+            name: WorkloadGenerator(spec, rng) for name, _, spec in classes
+        }
+        self._specs = {name: spec for name, _, spec in classes}
+        self._rng = rng
+
+    @property
+    def mean_rate(self) -> float:
+        return sum(
+            w * self._specs[name].mean_rate
+            for name, w in zip(self._names, self._weights)
+        )
+
+    def sample(self) -> Tuple[DualPeriodicTraffic, float]:
+        """Like :meth:`WorkloadGenerator.sample` (class chosen by weight)."""
+        traffic, deadline, _ = self.sample_with_class()
+        return traffic, deadline
+
+    def sample_with_class(self) -> Tuple[DualPeriodicTraffic, float, str]:
+        """Sample and also report which class the request belongs to."""
+        name = self._rng.choices(self._names, weights=self._weights, k=1)[0]
+        traffic, deadline = self._generators[name].sample()
+        return traffic, deadline, name

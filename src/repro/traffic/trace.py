@@ -1,0 +1,119 @@
+"""Empirical traffic descriptor extracted from a packet trace.
+
+Given a recorded sequence of ``(time, bits)`` arrivals, the tightest
+maximum-rate function consistent with the trace is computed by sliding a
+window over every pair of arrival instants.  This substitutes for the
+proprietary application traces the original testbed would have used: any
+recorded workload can be turned into a descriptor the CAC understands.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.envelopes.curve import Curve
+from repro.errors import ConfigurationError
+from repro.traffic.descriptor import TrafficDescriptor
+
+
+class TraceTraffic(TrafficDescriptor):
+    """Envelope of a finite packet trace.
+
+    Parameters
+    ----------
+    arrivals:
+        Sequence of ``(time, bits)`` pairs, non-decreasing in time.
+    sustained_rate:
+        Long-term rate used to extend the envelope beyond the trace span.
+        Defaults to ``total_bits / span`` of the trace itself.
+    """
+
+    def __init__(
+        self,
+        arrivals: Sequence[Tuple[float, float]],
+        sustained_rate: float = None,
+    ):
+        if not arrivals:
+            raise ConfigurationError("trace must contain at least one arrival")
+        times = np.asarray([t for t, _ in arrivals], dtype=float)
+        bits = np.asarray([b for _, b in arrivals], dtype=float)
+        if np.any(np.diff(times) < 0):
+            raise ConfigurationError("trace times must be non-decreasing")
+        if np.any(bits <= 0):
+            raise ConfigurationError("every arrival must carry positive bits")
+        self._times = times
+        self._bits = bits
+        self._total = float(np.sum(bits))
+        span = float(times[-1] - times[0])
+        if sustained_rate is None:
+            sustained_rate = self._total / span if span > 0 else math.inf
+        if sustained_rate <= 0:
+            raise ConfigurationError("sustained rate must be positive")
+        self._rate = float(sustained_rate)
+        self._envelope_cache: Curve = None
+
+    @property
+    def long_term_rate(self) -> float:
+        return self._rate
+
+    @property
+    def peak_rate(self) -> float:
+        return math.inf
+
+    def envelope(self, horizon: float) -> Curve:
+        if self._envelope_cache is not None:
+            return self._envelope_cache
+        cum = np.concatenate([[0.0], np.cumsum(self._bits)])
+        times = self._times
+        n = len(times)
+        # For every window length (t_j - t_i) the max bits are
+        # cum[j+1] - cum[i]: the window [t_i, t_j] inclusive of both bursts.
+        points: List[Tuple[float, float]] = [(0.0, float(np.max(self._bits)))]
+        window_best = {}
+        for i in range(n):
+            lengths = times[i:] - times[i]
+            gains = cum[i + 1 :] - cum[i]
+            for length, gain in zip(lengths, gains):
+                length = float(length)
+                if gain > window_best.get(length, 0.0):
+                    window_best[length] = float(gain)
+        for length in sorted(window_best):
+            if length == 0.0:
+                points[0] = (0.0, max(points[0][1], window_best[length]))
+            else:
+                points.append((length, window_best[length]))
+        # Enforce monotonicity (envelope of envelope).
+        best = points[0][1]
+        mono: List[Tuple[float, float]] = [points[0]]
+        for x, y in points[1:]:
+            best = max(best, y)
+            mono.append((x, best))
+        # Staircase through the points (right-continuous, dominating), then
+        # the sustained-rate majorant past the trace span.
+        xs = [x for x, _ in mono]
+        ys = [y for _, y in mono]
+        sigma = max(y - self._rate * x for x, y in mono)
+        switch = xs[-1] + 1e-9
+        xs.append(switch)
+        ys.append(sigma + self._rate * switch)
+        slopes = [0.0] * (len(xs) - 1) + [self._rate]
+        curve = Curve(xs, np.maximum.accumulate(ys), slopes, validate=False).simplify()
+        self._envelope_cache = curve
+        return curve
+
+    def worst_case_arrivals(self, duration: float):
+        """Replay the trace itself (it is its own worst case)."""
+        t0 = float(self._times[0])
+        for t, b in zip(self._times, self._bits):
+            if t - t0 > duration:
+                break
+            yield (float(t - t0), float(b))
+
+    def describe(self) -> str:
+        return (
+            f"Trace({len(self._times)} arrivals, {self._total:.3g} bits, "
+            f"rho={self._rate:.3g} b/s)"
+        )

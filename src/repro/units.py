@@ -1,0 +1,63 @@
+"""Unit constants and helpers.
+
+The whole library works in SI base units: time in seconds, data in bits,
+rates in bits/second.  These helpers exist so that configuration code reads
+like the paper ("155 Mbps backbone", "8 ms TTRT") instead of raw powers of
+ten.
+"""
+
+from __future__ import annotations
+
+#: One kilobit (decimal, as used by network link ratings).
+KBIT = 1_000.0
+#: One megabit.
+MBIT = 1_000_000.0
+#: One gigabit.
+GBIT = 1_000_000_000.0
+
+#: One byte, in bits.
+BYTE = 8.0
+#: One kilobyte (decimal), in bits.
+KBYTE = 8_000.0
+
+#: One millisecond, in seconds.
+MS = 1e-3
+#: One microsecond, in seconds.
+US = 1e-6
+#: One nanosecond, in seconds.
+NS = 1e-9
+
+
+def mbps(value: float) -> float:
+    """Convert a rate in megabits/second to bits/second."""
+    return value * MBIT
+
+
+def kbps(value: float) -> float:
+    """Convert a rate in kilobits/second to bits/second."""
+    return value * KBIT
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MS
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * US
+
+
+def bytes_to_bits(value: float) -> float:
+    """Convert a byte count to bits."""
+    return value * BYTE
+
+
+def bits_to_bytes(value: float) -> float:
+    """Convert a bit count to bytes."""
+    return value / BYTE
+
+
+def seconds_to_ms(value: float) -> float:
+    """Convert seconds to milliseconds (for reporting)."""
+    return value / MS

@@ -1,0 +1,138 @@
+"""Tests for the ATM substrate: cells, links, output ports, switches."""
+
+import math
+
+import pytest
+
+from repro.atm import (
+    AtmLink,
+    AtmSwitch,
+    CELL_BITS,
+    CELL_PAYLOAD_BITS,
+    OutputPortServer,
+    WIRE_EXPANSION,
+    cells_for_frame,
+    payload_bits_for_frame,
+)
+from repro.envelopes.curve import Curve
+from repro.errors import (
+    BufferOverflowError,
+    ConfigurationError,
+    TopologyError,
+    UnstableSystemError,
+)
+from repro.units import MBIT
+
+
+class TestCellArithmetic:
+    def test_constants(self):
+        assert CELL_BITS == 424
+        assert CELL_PAYLOAD_BITS == 384
+        assert WIRE_EXPANSION == pytest.approx(424 / 384)
+
+    def test_cells_for_frame(self):
+        assert cells_for_frame(384.0) == 1
+        assert cells_for_frame(385.0) == 2
+        assert cells_for_frame(768.0) == 2
+
+    def test_payload_bits_include_padding(self):
+        assert payload_bits_for_frame(400.0) == 768.0
+
+    def test_rejects_nonpositive_frame(self):
+        with pytest.raises(ConfigurationError):
+            cells_for_frame(0.0)
+
+
+class TestAtmLink:
+    def test_payload_rate_scaled(self):
+        link = AtmLink("l1", rate=155.52 * MBIT)
+        assert link.payload_rate == pytest.approx(155.52 * MBIT * 384 / 424)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            AtmLink("l1", rate=0.0)
+
+    def test_rejects_negative_propagation(self):
+        with pytest.raises(ConfigurationError):
+            AtmLink("l1", rate=1.0, propagation_delay=-1.0)
+
+
+def make_port(rate=155.52 * MBIT, **kw):
+    return OutputPortServer(AtmLink("l1", rate=rate), **kw)
+
+
+class TestOutputPort:
+    def test_single_burst_delay(self):
+        port = make_port()
+        burst = Curve.constant(1_000_000.0)  # 1 Mb burst
+        r = port.analyze_tagged(burst, [])
+        assert r.delay_bound == pytest.approx(1_000_000.0 / port.service_rate)
+
+    def test_cross_traffic_increases_delay(self):
+        port = make_port()
+        tagged = Curve.constant(100_000.0)
+        alone = port.analyze_tagged(tagged, []).delay_bound
+        crowded = port.analyze_tagged(
+            tagged, [Curve.constant(500_000.0)]
+        ).delay_bound
+        assert crowded > alone
+
+    def test_unstable_aggregate_raises(self):
+        port = make_port(rate=10 * MBIT)
+        heavy = Curve.affine(0.0, 20 * MBIT)
+        with pytest.raises(UnstableSystemError):
+            port.analyze_tagged(heavy, [])
+
+    def test_buffer_overflow_raises(self):
+        port = make_port(buffer_bits=1000.0)
+        with pytest.raises(BufferOverflowError):
+            port.analyze_tagged(Curve.constant(10_000.0), [])
+
+    def test_output_capped_at_link_rate(self):
+        port = make_port()
+        r = port.analyze_tagged(Curve.constant(1_000_000.0), [])
+        assert r.output(0.0) == pytest.approx(0.0)
+        for i in [1e-4, 1e-3]:
+            assert r.output(i) <= port.service_rate * i + 1e-3
+
+    def test_port_latency_adds(self):
+        fast = make_port().analyze_tagged(Curve.constant(1000.0), []).delay_bound
+        slow = make_port(port_latency=0.001).analyze_tagged(
+            Curve.constant(1000.0), []
+        ).delay_bound
+        assert slow == pytest.approx(fast + 0.001, rel=1e-6)
+
+    def test_empty_port_zero_delay(self):
+        port = make_port()
+        r = port.analyze_tagged(Curve.zero(), [])
+        assert r.delay_bound == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            make_port(port_latency=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_port(buffer_bits=0.0)
+
+
+class TestAtmSwitch:
+    def test_attach_and_get_port(self):
+        sw = AtmSwitch("s1", fabric_delay=1e-5)
+        link = AtmLink("s1->s2", rate=155 * MBIT)
+        port = sw.attach_link(link)
+        assert sw.port("s1->s2") is port
+        assert sw.link("s1->s2") is link
+
+    def test_double_attach_rejected(self):
+        sw = AtmSwitch("s1")
+        link = AtmLink("l", rate=1.0)
+        sw.attach_link(link)
+        with pytest.raises(TopologyError):
+            sw.attach_link(link)
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(TopologyError):
+            AtmSwitch("s1").port("nope")
+
+    def test_negative_fabric_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AtmSwitch("s1", fabric_delay=-1.0)

@@ -1,0 +1,104 @@
+"""Tests for the GCRA policer."""
+
+import pytest
+
+from repro.atm.gcra import GCRA, police_stream
+from repro.errors import ConfigurationError
+
+
+class TestConformance:
+    def test_evenly_spaced_stream_conforms(self):
+        g = GCRA(increment=0.001, tolerance=0.0)
+        assert all(g.check(i * 0.001) for i in range(100))
+
+    def test_slightly_fast_stream_dropped(self):
+        g = GCRA(increment=0.001, tolerance=0.0)
+        assert g.check(0.0)
+        # Next cell 10% early: non-conforming.
+        assert not g.check(0.0009)
+        # But on schedule it conforms.
+        assert g.check(0.001)
+
+    def test_tolerance_allows_jitter(self):
+        g = GCRA(increment=0.001, tolerance=0.0005)
+        assert g.check(0.0)
+        assert g.check(0.0006)  # 0.4 ms early, within tau
+
+    def test_burst_with_tau(self):
+        # tau = 3T allows 4 back-to-back cells.
+        g = GCRA.for_rate(cell_rate=1000.0, burst_cells=4)
+        results = [g.check(0.0) for _ in range(5)]
+        assert results == [True, True, True, True, False]
+
+    def test_nonconforming_cell_leaves_state_unchanged(self):
+        g = GCRA(increment=0.001, tolerance=0.0)
+        g.check(0.0)
+        g.check(0.0005)  # dropped
+        assert g.check(0.001)  # still on the original schedule
+
+    def test_out_of_order_rejected(self):
+        g = GCRA(increment=0.001, tolerance=0.0)
+        g.check(1.0)
+        with pytest.raises(ConfigurationError):
+            g.check(0.5)
+
+    def test_reset(self):
+        g = GCRA.for_rate(1000.0)
+        g.check(0.0)
+        assert not g.check(0.0)
+        g.reset()
+        assert g.check(0.0)
+
+    def test_idle_period_does_not_accumulate_credit_beyond_tau(self):
+        g = GCRA(increment=0.001, tolerance=0.001)
+        assert g.check(0.0)
+        # Long silence, then a burst: only 1 + tau/T = 2 cells conform.
+        results = [g.check(10.0) for _ in range(4)]
+        assert results == [True, True, False, False]
+
+
+class TestBridges:
+    def test_max_cells_in_window(self):
+        g = GCRA(increment=0.001, tolerance=0.002)
+        # window 0: 1 + floor(0.002/0.001) = 3 back-to-back cells.
+        assert g.max_cells_in_window(0.0) == 3
+        assert g.max_cells_in_window(0.01) == 13
+
+    def test_equivalent_descriptor_rates(self):
+        g = GCRA(increment=0.001, tolerance=0.002)
+        d = g.equivalent_descriptor(cell_bits=384.0)
+        assert d.rho == pytest.approx(384_000.0)
+        assert d.sigma == pytest.approx(3 * 384.0)
+
+    def test_descriptor_bounds_conforming_stream(self):
+        g = GCRA(increment=0.001, tolerance=0.002)
+        d = g.equivalent_descriptor(cell_bits=384.0)
+        env = d.envelope(1.0)
+        # Greedy conforming stream: burst then steady.
+        stream = [0.0, 0.0, 0.0] + [0.001 * k for k in range(1, 200)]
+        probe = GCRA(increment=0.001, tolerance=0.002)
+        ok, dropped = police_stream(probe, stream)
+        assert not dropped
+        # Count cells in sliding windows; each must be within the envelope.
+        for start in (0.0, 0.0005, 0.05):
+            for width in (0.0, 0.005, 0.05):
+                cells = sum(1 for t in ok if start <= t <= start + width)
+                assert cells * 384.0 <= env(width) + 1e-9
+
+    def test_for_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            GCRA.for_rate(0.0)
+        with pytest.raises(ConfigurationError):
+            GCRA.for_rate(1000.0, burst_cells=0.5)
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            GCRA(increment=0.0, tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            GCRA(increment=1.0, tolerance=-1.0)
+
+    def test_police_stream_splits(self):
+        g = GCRA(increment=0.001, tolerance=0.0)
+        ok, dropped = police_stream(g, [0.0, 0.0005, 0.001, 0.0015, 0.002])
+        assert ok == [0.0, 0.001, 0.002]
+        assert dropped == [0.0005, 0.0015]

@@ -1,0 +1,103 @@
+"""Tests for ATM virtual-circuit management."""
+
+import pytest
+
+from repro.atm.vc import VcExhaustedError, VirtualCircuitManager
+from repro.config import build_network
+from repro.errors import TopologyError
+from repro.network.routing import compute_route
+
+
+@pytest.fixture()
+def topo():
+    return build_network()
+
+
+@pytest.fixture()
+def manager(topo):
+    return VirtualCircuitManager(topo, vcis_per_link=4, first_vci=32)
+
+
+class TestSetup:
+    def test_circuit_spans_route(self, topo, manager):
+        route = compute_route(topo, "host1-1", "host2-1")
+        vc = manager.setup("c1", route)
+        assert vc.path_links == ["id1->s1", "s1->s2", "s2->id2"]
+        assert all(h.vci >= 32 for h in vc.hops)
+
+    def test_local_route_needs_no_labels(self, topo, manager):
+        route = compute_route(topo, "host1-1", "host1-2")
+        vc = manager.setup("c1", route)
+        assert vc.hops == ()
+
+    def test_labels_unique_per_link(self, topo, manager):
+        route = compute_route(topo, "host1-1", "host2-1")
+        vc1 = manager.setup("c1", route)
+        route2 = compute_route(topo, "host1-2", "host2-2")
+        vc2 = manager.setup("c2", route2)
+        assert vc1.hops[0].link_id == vc2.hops[0].link_id
+        assert vc1.hops[0].vci != vc2.hops[0].vci
+
+    def test_duplicate_circuit_rejected(self, topo, manager):
+        route = compute_route(topo, "host1-1", "host2-1")
+        manager.setup("c1", route)
+        with pytest.raises(TopologyError):
+            manager.setup("c1", route)
+
+    def test_exhaustion_raises_and_rolls_back(self, topo):
+        manager = VirtualCircuitManager(topo, vcis_per_link=2, first_vci=32)
+        route = compute_route(topo, "host1-1", "host2-1")
+        manager.setup("a", route)
+        manager.setup("b", compute_route(topo, "host1-2", "host2-2"))
+        with pytest.raises(VcExhaustedError):
+            manager.setup("c", compute_route(topo, "host1-3", "host2-3"))
+        # Roll-back: no labels leaked on any link of the failed attempt.
+        assert manager.labels_in_use("id1->s1") == 2
+        assert manager.circuit_of("c") is None
+
+
+class TestTeardown:
+    def test_teardown_frees_labels(self, topo, manager):
+        route = compute_route(topo, "host1-1", "host2-1")
+        manager.setup("c1", route)
+        assert manager.labels_in_use("id1->s1") == 1
+        manager.teardown("c1")
+        assert manager.labels_in_use("id1->s1") == 0
+        assert manager.circuit_of("c1") is None
+
+    def test_teardown_unknown_rejected(self, manager):
+        with pytest.raises(TopologyError):
+            manager.teardown("ghost")
+
+    def test_labels_reusable_after_teardown(self, topo):
+        manager = VirtualCircuitManager(topo, vcis_per_link=1, first_vci=32)
+        route = compute_route(topo, "host1-1", "host2-1")
+        manager.setup("a", route)
+        manager.teardown("a")
+        vc = manager.setup("b", compute_route(topo, "host1-2", "host2-2"))
+        assert vc.hops[0].vci == 32
+
+
+class TestTranslationTable:
+    def test_switch_table_rows(self, topo, manager):
+        route = compute_route(topo, "host1-1", "host2-1")
+        vc = manager.setup("c1", route)
+        # s1 translates (id1->s1, vci) into (s1->s2, vci').
+        rows = manager.translation_table("s1")
+        assert rows == [(vc.hops[0].vci, "id1->s1", vc.hops[1].vci, "s1->s2")]
+        rows2 = manager.translation_table("s2")
+        assert rows2 == [(vc.hops[1].vci, "s1->s2", vc.hops[2].vci, "s2->id2")]
+
+    def test_two_hop_backbone_path(self, topo, manager):
+        topo.fail_link("s1", "s2")
+        route = compute_route(topo, "host1-1", "host2-1")
+        assert route.switch_path == ["s1", "s3", "s2"]
+        vc = manager.setup("c1", route)
+        assert len(vc.hops) == 4  # uplink, s1->s3, s3->s2, downlink
+        assert len(manager.translation_table("s3")) == 1
+
+    def test_validation(self, topo):
+        with pytest.raises(TopologyError):
+            VirtualCircuitManager(topo, vcis_per_link=0)
+        with pytest.raises(TopologyError):
+            VirtualCircuitManager(topo, first_vci=-1)

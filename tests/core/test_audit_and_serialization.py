@@ -1,0 +1,66 @@
+"""Tests for the CAC audit trail and curve serialization."""
+
+import json
+
+import pytest
+
+from repro.config import build_network
+from repro.core import AdmissionController
+from repro.envelopes.curve import Curve
+from repro.errors import CurveError
+from repro.network.connection import ConnectionSpec
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+class TestAuditTrail:
+    def test_every_decision_recorded(self):
+        cac = AdmissionController(build_network())
+        cac.request(ConnectionSpec("ok", "host1-1", "host2-1", TRAFFIC, 0.09))
+        cac.request(ConnectionSpec("no", "host1-2", "host2-2", TRAFFIC, 0.001))
+        assert [cid for cid, _ in cac.history] == ["ok", "no"]
+        assert cac.history[0][1].admitted
+        assert not cac.history[1][1].admitted
+
+    def test_history_carries_diagnostics(self):
+        cac = AdmissionController(build_network())
+        cac.request(ConnectionSpec("ok", "host1-1", "host2-1", TRAFFIC, 0.09))
+        _, result = cac.history[0]
+        assert result.h_max_avail is not None
+        assert result.h_min_need is not None
+
+    def test_history_bounded(self):
+        cac = AdmissionController(build_network())
+        cac.history_limit = 10
+        for i in range(25):
+            cac.request(
+                ConnectionSpec(f"x{i}", "host1-1", "host2-1", TRAFFIC, 0.001)
+            )
+        assert len(cac.history) <= 11  # halved on overflow
+
+
+class TestCurveSerialization:
+    def test_round_trip(self):
+        c = Curve.from_points([(0.0, 1.0), (2.0, 5.0)], final_slope=0.5)
+        back = Curve.from_dict(c.to_dict())
+        assert back.equals(c)
+
+    def test_json_compatible(self):
+        c = Curve.affine(10.0, 3.0)
+        blob = json.dumps(c.to_dict())
+        back = Curve.from_dict(json.loads(blob))
+        assert back(2.0) == pytest.approx(c(2.0))
+
+    def test_from_dict_validates(self):
+        with pytest.raises(CurveError):
+            Curve.from_dict({"xs": [0.0]})  # missing keys
+        with pytest.raises(CurveError):
+            Curve.from_dict({"xs": [1.0], "ys": [0.0], "slopes": [0.0]})
+
+    def test_staircase_round_trip(self):
+        from repro.envelopes.staircase import timed_token_staircase
+
+        s = timed_token_staircase(0.001, 0.008, 1e8, n_steps=8)
+        back = Curve.from_dict(s.to_dict())
+        assert back.equals(s)

@@ -1,0 +1,85 @@
+"""Tests for buffer dimensioning (core/buffers)."""
+
+import pytest
+
+from repro.config import build_network
+from repro.core import AdmissionController
+from repro.core.buffers import BufferPlan, dimension_buffers
+from repro.core.delay import ConnectionLoad
+from repro.network.connection import ConnectionSpec
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+def admitted_state(pairs, deadline=0.09):
+    topo = build_network()
+    cac = AdmissionController(topo)
+    for i, (src, dst) in enumerate(pairs):
+        res = cac.request(ConnectionSpec(f"c{i}", src, dst, TRAFFIC, deadline))
+        assert res.admitted
+    loads = [
+        ConnectionLoad(r.spec, r.route, r.h_source, r.h_dest)
+        for r in cac.connections.values()
+    ]
+    return topo, cac, loads
+
+
+class TestDimensioning:
+    def test_every_resource_appears(self):
+        topo, cac, loads = admitted_state([("host1-1", "host2-1")])
+        plan = dimension_buffers(topo, loads)
+        assert any("ring1" in k for k in plan.mac_buffers)  # source MAC
+        assert any("ring2" in k for k in plan.mac_buffers)  # ID_R MAC
+        assert any("uplink" in k for k in plan.port_buffers)
+        assert any("frame-cell" in k for k in plan.conversion_buffers)
+
+    def test_mac_backlog_positive_and_bounded(self):
+        topo, cac, loads = admitted_state([("host1-1", "host2-1")])
+        plan = dimension_buffers(topo, loads)
+        for name, bits in plan.mac_buffers.items():
+            assert 0 < bits < 4e6  # within the configured MAC buffer
+
+    def test_mac_buffer_within_configured_limit(self):
+        # The CAC admitted these connections, so Theorem 1's F <= S must
+        # hold at every MAC with the configured buffer size.
+        from repro.config import NetworkConfig
+
+        topo, cac, loads = admitted_state(
+            [("host1-1", "host2-1"), ("host1-2", "host3-1")]
+        )
+        plan = dimension_buffers(topo, loads)
+        limit = NetworkConfig().mac_buffer_bits
+        for bits in plan.mac_buffers.values():
+            assert bits <= limit + 1e-9
+
+    def test_more_connections_need_more_port_buffer(self):
+        topo1, _, loads1 = admitted_state([("host1-1", "host2-1")])
+        one = dimension_buffers(topo1, loads1)
+        topo2, _, loads2 = admitted_state(
+            [("host1-1", "host2-1"), ("host1-2", "host2-2")]
+        )
+        two = dimension_buffers(topo2, loads2)
+        uplink1 = next(v for k, v in one.port_buffers.items() if "id1" in k)
+        uplink2 = next(v for k, v in two.port_buffers.items() if "id1" in k)
+        assert uplink2 >= uplink1 - 1e-9
+
+    def test_total_and_worst_port(self):
+        topo, cac, loads = admitted_state([("host1-1", "host2-1")])
+        plan = dimension_buffers(topo, loads)
+        assert plan.total_bits > 0
+        name, bits = plan.worst_port()
+        assert bits == max(plan.port_buffers.values())
+
+    def test_empty_state(self):
+        topo = build_network()
+        plan = dimension_buffers(topo, [])
+        assert plan.total_bits == 0.0
+        assert plan.worst_port() is None
+
+    def test_report_formatting(self):
+        topo, cac, loads = admitted_state([("host1-1", "host2-1")])
+        plan = dimension_buffers(topo, loads)
+        report = plan.format_report()
+        assert "MAC transmit queues" in report
+        assert "TOTAL" in report

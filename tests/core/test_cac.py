@@ -1,0 +1,187 @@
+"""Tests for the admission controller (Section 5.3)."""
+
+import math
+
+import pytest
+
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.errors import ConfigurationError
+from repro.network.connection import ConnectionSpec
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=240_000.0, p1=0.030, c2=80_000.0, p2=0.005)
+
+
+def make_cac(beta=0.5, **kw):
+    topo = build_network()
+    return AdmissionController(topo, cac_config=CACConfig(beta=beta, **kw))
+
+
+def spec(conn_id, src="host1-1", dst="host2-1", deadline=0.15, traffic=TRAFFIC):
+    return ConnectionSpec(conn_id, src, dst, traffic, deadline)
+
+
+class TestBasicAdmission:
+    def test_single_connection_admitted(self):
+        cac = make_cac()
+        res = cac.request(spec("c1"))
+        assert res.admitted
+        assert res.record.delay_bound <= 0.15
+        assert res.record.h_source > 0 and res.record.h_dest > 0
+
+    def test_admission_updates_ring_ledgers(self):
+        cac = make_cac()
+        res = cac.request(spec("c1"))
+        ring1 = cac.topology.rings["ring1"]
+        ring2 = cac.topology.rings["ring2"]
+        assert ring1.allocation_of("c1") == res.record.h_source
+        assert ring2.allocation_of("c1") == res.record.h_dest
+
+    def test_release_frees_bandwidth(self):
+        cac = make_cac()
+        cac.request(spec("c1"))
+        before = cac.topology.rings["ring1"].available_sync_time
+        cac.release("c1")
+        after = cac.topology.rings["ring1"].available_sync_time
+        assert after > before
+        assert "c1" not in cac.connections
+
+    def test_duplicate_id_rejected(self):
+        cac = make_cac()
+        cac.request(spec("c1"))
+        with pytest.raises(ConfigurationError):
+            cac.request(spec("c1"))
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cac().release("ghost")
+
+    def test_impossible_deadline_rejected(self):
+        cac = make_cac()
+        res = cac.request(spec("c1", deadline=0.001))  # < 2 TTRT alone
+        assert not res.admitted
+        assert "infeasible" in res.reason
+
+    def test_admission_probability_counter(self):
+        cac = make_cac()
+        cac.request(spec("c1"))
+        cac.request(spec("c2", src="host1-2", deadline=0.001))
+        assert cac.n_requests == 2
+        assert cac.n_admitted == 1
+        assert cac.admission_probability == pytest.approx(0.5)
+
+    def test_local_route_admission(self):
+        cac = make_cac()
+        res = cac.request(spec("c1", src="host1-1", dst="host1-2"))
+        assert res.admitted
+        assert res.record.h_dest == 0.0
+        # Only the source ring is charged.
+        assert cac.topology.rings["ring1"].allocation_of("c1") > 0
+
+
+class TestAllocationGeometry:
+    def test_min_need_below_max_need(self):
+        cac = make_cac(beta=0.5)
+        res = cac.request(spec("c1"))
+        assert res.h_min_need is not None and res.h_max_need is not None
+        assert res.h_min_need[0] <= res.h_max_need[0] + 1e-12
+        assert res.h_min_need[1] <= res.h_max_need[1] + 1e-12
+
+    def test_beta_zero_grants_min_need(self):
+        cac = make_cac(beta=0.0)
+        res = cac.request(spec("c1"))
+        assert res.record.h_source == pytest.approx(res.h_min_need[0], rel=1e-9)
+
+    def test_beta_one_grants_max_need(self):
+        cac = make_cac(beta=1.0)
+        res = cac.request(spec("c1"))
+        assert res.record.h_source == pytest.approx(res.h_max_need[0], rel=1e-9)
+
+    def test_beta_orders_grants(self):
+        grants = {}
+        for beta in (0.0, 0.5, 1.0):
+            cac = make_cac(beta=beta)
+            res = cac.request(spec("c1"))
+            grants[beta] = res.record.h_source
+        assert grants[0.0] <= grants[0.5] <= grants[1.0]
+
+    def test_grant_within_available(self):
+        cac = make_cac()
+        res = cac.request(spec("c1"))
+        assert res.record.h_source <= res.h_max_avail[0] + 1e-12
+        assert res.record.h_dest <= res.h_max_avail[1] + 1e-12
+
+    def test_tight_deadline_needs_more_bandwidth(self):
+        loose = make_cac(beta=0.0).request(spec("c1", deadline=0.19))
+        tight = make_cac(beta=0.0).request(spec("c1", deadline=0.08))
+        assert loose.admitted and tight.admitted
+        assert tight.record.h_source > loose.record.h_source
+
+
+class TestMultipleAdmissions:
+    def test_existing_deadlines_protected(self):
+        # Admit c1 with beta=0 (zero slack), then a second connection whose
+        # cross-traffic at the shared uplink would push c1 past its deadline:
+        # the CAC must reject or allocate so c1 still meets it.
+        cac = make_cac(beta=0.0)
+        r1 = cac.request(spec("c1", src="host1-1", dst="host2-1"))
+        assert r1.admitted
+        cac.request(spec("c2", src="host1-2", dst="host2-2"))
+        delays = cac.current_delays()
+        assert delays["c1"] <= cac.connections["c1"].spec.deadline + 1e-9
+
+    def test_ring_budget_exhaustion(self):
+        # Grant everything to one connection; the next from the same ring
+        # must be rejected for lack of synchronous bandwidth.
+        from repro.core.policies import MaxAvailPolicy
+
+        topo = build_network()
+        cac = AdmissionController(topo, policy=MaxAvailPolicy())
+        r1 = cac.request(spec("c1", src="host1-1", dst="host2-1"))
+        assert r1.admitted
+        r2 = cac.request(spec("c2", src="host1-2", dst="host3-1"))
+        assert not r2.admitted
+        assert "no synchronous bandwidth" in r2.reason
+
+    def test_fill_until_rejection(self):
+        cac = make_cac(beta=0.5)
+        admitted = 0
+        for i in range(12):
+            ring = (i % 3) + 1
+            dst_ring = ring % 3 + 1
+            res = cac.request(
+                spec(
+                    f"c{i}",
+                    src=f"host{ring}-{i // 3 + 1}",
+                    dst=f"host{dst_ring}-{i // 3 + 1}",
+                    deadline=0.10,
+                )
+            )
+            admitted += res.admitted
+        assert 0 < admitted
+        # Every admitted connection still meets its deadline.
+        delays = cac.current_delays()
+        for cid, d in delays.items():
+            assert d <= cac.connections[cid].spec.deadline + 1e-9
+
+    def test_release_enables_future_admission(self):
+        from repro.core.policies import MaxAvailPolicy
+
+        topo = build_network()
+        cac = AdmissionController(topo, policy=MaxAvailPolicy())
+        cac.request(spec("c1", src="host1-1", dst="host2-1"))
+        r2 = cac.request(spec("c2", src="host1-2", dst="host3-1"))
+        assert not r2.admitted
+        cac.release("c1")
+        r3 = cac.request(spec("c3", src="host1-2", dst="host3-1"))
+        assert r3.admitted
+
+
+class TestOriginRayVariant:
+    def test_origin_ray_also_admits(self):
+        cac = make_cac(use_origin_ray=True)
+        res = cac.request(spec("c1"))
+        assert res.admitted
+        # Rule 2: grant proportional to the max-available ratio (equal here).
+        assert res.record.h_source == pytest.approx(res.record.h_dest, rel=1e-6)

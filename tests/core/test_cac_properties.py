@@ -1,0 +1,112 @@
+"""Property-based tests of CAC invariants (hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.network.connection import ConnectionSpec
+from repro.traffic import DualPeriodicTraffic
+
+
+@st.composite
+def workloads(draw):
+    """Random but valid dual-periodic sources in the feasible ballpark."""
+    p1 = draw(st.sampled_from([0.010, 0.015, 0.020, 0.030]))
+    p2 = draw(st.sampled_from([0.002, 0.005]))
+    rho = draw(st.floats(2e6, 12e6))
+    c1 = rho * p1
+    # inner rate between rho and 3*rho, capped at c1 per window
+    inner = draw(st.floats(1.0, 3.0)) * rho
+    c2 = min(c1, inner * p2)
+    return DualPeriodicTraffic(c1=c1, p1=p1, c2=c2, p2=p2)
+
+
+hosts = st.sampled_from(
+    [f"host{i}-{j}" for i in range(1, 4) for j in range(1, 5)]
+)
+
+
+class TestAdmissionInvariants:
+    @given(
+        workloads(),
+        st.floats(0.05, 0.25),
+        st.floats(0.0, 1.0),
+    )
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_admitted_connection_meets_deadline(self, traffic, deadline, beta):
+        topo = build_network()
+        cac = AdmissionController(topo, cac_config=CACConfig(beta=beta))
+        res = cac.request(
+            ConnectionSpec("p", "host1-1", "host2-1", traffic, deadline)
+        )
+        if res.admitted:
+            assert res.record.delay_bound <= deadline + 1e-9
+            assert res.record.h_source > 0
+            assert res.record.h_dest > 0
+            # Ledgers are consistent with the grant.
+            assert topo.rings["ring1"].allocation_of("p") == res.record.h_source
+
+    @given(workloads(), st.floats(0.05, 0.2))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_release_is_inverse_of_admit(self, traffic, deadline):
+        topo = build_network()
+        cac = AdmissionController(topo)
+        before = topo.rings["ring1"].available_sync_time
+        res = cac.request(
+            ConnectionSpec("p", "host1-1", "host2-1", traffic, deadline)
+        )
+        if res.admitted:
+            cac.release("p")
+        assert topo.rings["ring1"].available_sync_time == pytest.approx(before)
+
+    @given(workloads())
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_grant_monotone_in_beta(self, traffic):
+        grants = []
+        for beta in (0.0, 0.5, 1.0):
+            topo = build_network()
+            cac = AdmissionController(topo, cac_config=CACConfig(beta=beta))
+            res = cac.request(
+                ConnectionSpec("p", "host1-1", "host2-1", traffic, 0.12)
+            )
+            if not res.admitted:
+                return  # infeasible workload draw — nothing to compare
+            grants.append(res.record.h_source)
+        assert grants[0] <= grants[1] + 1e-12
+        assert grants[1] <= grants[2] + 1e-12
+
+    @given(workloads(), st.floats(0.05, 0.2))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_rejection_leaves_no_trace(self, traffic, deadline):
+        topo = build_network()
+        cac = AdmissionController(topo)
+        snapshot = {
+            rid: ring.available_sync_time for rid, ring in topo.rings.items()
+        }
+        res = cac.request(
+            ConnectionSpec("p", "host1-1", "host2-1", traffic, deadline * 0.1)
+        )
+        if not res.admitted:
+            for rid, ring in topo.rings.items():
+                assert ring.available_sync_time == snapshot[rid]
+            assert "p" not in cac.connections

@@ -1,0 +1,77 @@
+"""Tests for the feed-forward check of the envelope-propagation engine.
+
+A unidirectional backbone ring (s1 -> s2 -> s3 -> s1) with one two-hop
+connection per ring produces the classic cyclic port-dependency pattern:
+port (s1,s2) cannot be analyzed before (s3,s1), which waits on (s2,s3),
+which waits on (s1,s2).  The engine must detect this and refuse rather
+than produce a wrong bound.
+"""
+
+import pytest
+
+from repro.atm import AtmSwitch
+from repro.config import NetworkConfig
+from repro.core.delay import ConnectionLoad, DelayAnalyzer
+from repro.errors import CyclicDependencyError
+from repro.fddi import FDDIRing
+from repro.interface_device import InterfaceDevice
+from repro.network import NetworkTopology, compute_route
+from repro.network.connection import ConnectionSpec
+from repro.traffic import PeriodicTraffic
+from repro.units import MBIT
+
+
+def unidirectional_ring_topology():
+    topo = NetworkTopology()
+    for i in (1, 2, 3):
+        topo.add_ring(FDDIRing(f"ring{i}", ttrt=0.008, bandwidth=100 * MBIT))
+        topo.add_host(f"host{i}", f"ring{i}")
+    for i in (1, 2, 3):
+        topo.add_switch(AtmSwitch(f"s{i}"))
+    for i in (1, 2, 3):
+        topo.add_device(
+            InterfaceDevice(f"id{i}", f"ring{i}"),
+            switch_id=f"s{i}",
+            uplink_rate=155.52 * MBIT,
+        )
+    # One-way ring: the ONLY backbone paths are clockwise two-hop detours.
+    topo.connect_switches("s1", "s2", rate=155.52 * MBIT, bidirectional=False)
+    topo.connect_switches("s2", "s3", rate=155.52 * MBIT, bidirectional=False)
+    topo.connect_switches("s3", "s1", rate=155.52 * MBIT, bidirectional=False)
+    return topo
+
+
+class TestCyclicDetection:
+    def test_two_hop_routes_exist(self):
+        topo = unidirectional_ring_topology()
+        route = compute_route(topo, "host1", "host3")
+        assert route.switch_path == ["s1", "s2", "s3"]
+
+    def test_cycle_detected(self):
+        topo = unidirectional_ring_topology()
+        analyzer = DelayAnalyzer(topo)
+        traffic = PeriodicTraffic(c=40_000.0, p=0.02)
+        loads = []
+        for i, (src, dst) in enumerate(
+            [("host1", "host3"), ("host2", "host1"), ("host3", "host2")]
+        ):
+            spec = ConnectionSpec(f"c{i}", src, dst, traffic, 0.2)
+            loads.append(
+                ConnectionLoad(spec, compute_route(topo, src, dst), 0.001, 0.001)
+            )
+        with pytest.raises(CyclicDependencyError):
+            analyzer.compute(loads)
+
+    def test_acyclic_subset_analyzable(self):
+        # Two of the three flows leave the dependency graph acyclic.
+        topo = unidirectional_ring_topology()
+        analyzer = DelayAnalyzer(topo)
+        traffic = PeriodicTraffic(c=40_000.0, p=0.02)
+        loads = []
+        for i, (src, dst) in enumerate([("host1", "host3"), ("host2", "host1")]):
+            spec = ConnectionSpec(f"c{i}", src, dst, traffic, 0.2)
+            loads.append(
+                ConnectionLoad(spec, compute_route(topo, src, dst), 0.001, 0.001)
+            )
+        reports = analyzer.compute(loads)
+        assert len(reports) == 2

@@ -1,0 +1,121 @@
+"""Tests for backbone-link failover."""
+
+import pytest
+
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.core.failover import FailoverManager
+from repro.errors import TopologyError
+from repro.network.connection import ConnectionSpec
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+def loaded_network():
+    topo = build_network()
+    cac = AdmissionController(topo, cac_config=CACConfig(beta=0.3))
+    requests = [
+        ("r12", "host1-1", "host2-1", 0.12),   # uses s1-s2
+        ("r13", "host1-2", "host3-1", 0.12),   # uses s1-s3
+        ("r23", "host2-2", "host3-2", 0.12),   # uses s2-s3
+    ]
+    for cid, src, dst, dl in requests:
+        res = cac.request(ConnectionSpec(cid, src, dst, TRAFFIC, dl))
+        assert res.admitted, res.reason
+    return topo, cac
+
+
+class TestTopologyFailure:
+    def test_fail_and_restore(self):
+        topo = build_network()
+        topo.fail_link("s1", "s2")
+        assert topo.is_link_failed("s1", "s2")
+        assert topo.is_link_failed("s2", "s1")
+        # Routing detours via s3.
+        assert topo.backbone_path("s1", "s2") == ["s1", "s3", "s2"]
+        topo.restore_link("s1", "s2")
+        assert topo.backbone_path("s1", "s2") == ["s1", "s2"]
+
+    def test_double_fail_rejected(self):
+        topo = build_network()
+        topo.fail_link("s1", "s2")
+        with pytest.raises(TopologyError):
+            topo.fail_link("s1", "s2")
+
+    def test_restore_unfailed_rejected(self):
+        with pytest.raises(TopologyError):
+            build_network().restore_link("s1", "s2")
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(TopologyError):
+            build_network().fail_link("s1", "ghost")
+
+    def test_failed_links_listed(self):
+        topo = build_network()
+        topo.fail_link("s1", "s3")
+        assert ("s1", "s3") in topo.failed_links
+        assert ("s3", "s1") in topo.failed_links
+
+
+class TestFailover:
+    def test_unaffected_connections_untouched(self):
+        topo, cac = loaded_network()
+        report = FailoverManager(cac).fail_link("s1", "s2")
+        assert "r13" in report.unaffected
+        assert "r23" in report.unaffected
+        assert "r13" in cac.connections
+
+    def test_displaced_connection_rerouted(self):
+        topo, cac = loaded_network()
+        report = FailoverManager(cac).fail_link("s1", "s2")
+        assert report.rerouted == ["r12"] or "r12" in report.dropped
+        if "r12" in cac.connections:
+            # The detour route goes through s3 now.
+            assert cac.connections["r12"].route.switch_path == ["s1", "s3", "s2"]
+
+    def test_rerouted_connections_meet_deadlines(self):
+        topo, cac = loaded_network()
+        FailoverManager(cac).fail_link("s1", "s2")
+        for cid, d in cac.current_delays().items():
+            assert d <= cac.connections[cid].spec.deadline + 1e-9
+
+    def test_survival_rate(self):
+        topo, cac = loaded_network()
+        report = FailoverManager(cac).fail_link("s1", "s2")
+        assert 0.0 <= report.survival_rate <= 1.0
+
+    def test_bandwidth_conserved_for_dropped(self):
+        # Every ring's ledger must equal the sum of recorded allocations,
+        # whatever happened during failover.
+        topo, cac = loaded_network()
+        FailoverManager(cac).fail_link("s1", "s2")
+        for ring in topo.rings.values():
+            expected = sum(
+                rec.h_source
+                for rec in cac.connections.values()
+                if rec.route.source_ring == ring.ring_id
+            ) + sum(
+                rec.h_dest
+                for rec in cac.connections.values()
+                if rec.route.dest_ring == ring.ring_id
+            )
+            assert ring.allocated_sync_time == pytest.approx(expected)
+
+    def test_restore_allows_direct_routes_again(self):
+        topo, cac = loaded_network()
+        manager = FailoverManager(cac)
+        manager.fail_link("s1", "s2")
+        manager.restore_link("s1", "s2")
+        res = cac.request(
+            ConnectionSpec("fresh", "host1-3", "host2-3", TRAFFIC, 0.12)
+        )
+        assert res.admitted
+        assert res.record.route.switch_path == ["s1", "s2"]
+
+    def test_report_formatting(self):
+        topo, cac = loaded_network()
+        report = FailoverManager(cac).fail_link("s1", "s2")
+        text = report.format()
+        assert "s1<->s2" in text
+        assert "rerouted" in text

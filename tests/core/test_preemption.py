@@ -1,0 +1,106 @@
+"""Tests for preemptive admission."""
+
+import pytest
+
+from repro.config import build_network
+from repro.core import AdmissionController
+from repro.core.policies import MaxAvailPolicy
+from repro.core.preemption import PreemptiveAdmission
+from repro.errors import ConfigurationError
+from repro.network.connection import ConnectionSpec
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+def spec(cid, src="host1-1", dst="host2-1", deadline=0.12):
+    return ConnectionSpec(cid, src, dst, TRAFFIC, deadline)
+
+
+def saturated_manager():
+    """A network where ring1's budget is fully granted to one connection."""
+    topo = build_network()
+    cac = AdmissionController(topo, policy=MaxAvailPolicy())
+    manager = PreemptiveAdmission(cac)
+    res = manager.request(spec("hog", "host1-1", "host2-1"), importance=1.0)
+    assert res.admitted
+    return manager
+
+
+class TestPreemption:
+    def test_no_preemption_when_capacity_exists(self):
+        topo = build_network()
+        manager = PreemptiveAdmission(AdmissionController(topo))
+        res = manager.request(spec("a"), importance=5.0)
+        assert res.admitted
+        assert res.preempted == ()
+
+    def test_critical_request_evicts_lesser(self):
+        manager = saturated_manager()
+        res = manager.request(
+            spec("critical", "host1-2", "host3-1"), importance=10.0
+        )
+        assert res.admitted
+        assert res.preempted == ("hog",)
+        assert "hog" not in manager.cac.connections
+
+    def test_equal_importance_not_evicted(self):
+        manager = saturated_manager()  # hog has importance 1.0
+        res = manager.request(
+            spec("peer", "host1-2", "host3-1"), importance=1.0
+        )
+        assert not res.admitted
+        assert "hog" in manager.cac.connections
+
+    def test_lower_importance_not_evicted(self):
+        manager = saturated_manager()
+        res = manager.request(
+            spec("minor", "host1-2", "host3-1"), importance=0.5
+        )
+        assert not res.admitted
+        assert "hog" in manager.cac.connections
+
+    def test_rollback_restores_victims(self):
+        manager = saturated_manager()
+        # Even with the hog gone, a sub-2-TTRT deadline is hopeless; the
+        # hog must be restored afterwards.
+        res = manager.request(
+            spec("impossible", "host1-2", "host3-1", deadline=0.012),
+            importance=10.0,
+        )
+        assert not res.admitted
+        assert res.preempted == ()
+        assert "hog" in manager.cac.connections
+        assert "hog" in res.restored
+
+    def test_importance_tracked_across_lifecycle(self):
+        manager = saturated_manager()
+        assert manager.importance_of("hog") == 1.0
+        manager.release("hog")
+        assert manager.importance_of("hog") == 0.0
+
+    def test_eviction_order_is_least_important_first(self):
+        topo = build_network()
+        from repro.config import CACConfig
+
+        cac = AdmissionController(topo, cac_config=CACConfig(beta=1.0))
+        manager = PreemptiveAdmission(cac)
+        victims = [
+            ("low", "host1-1", 0.1),
+            ("mid", "host1-2", 0.5),
+            ("high", "host1-3", 0.9),
+        ]
+        for cid, src, imp in victims:
+            r = manager.request(spec(cid, src, "host2-1"), importance=imp)
+            assert r.admitted
+        # Force a big request that needs at least one eviction.
+        res = manager.request(
+            spec("vip", "host1-4", "host3-1"), importance=5.0
+        )
+        if res.preempted:
+            assert res.preempted[0] == "low"
+
+    def test_validation(self):
+        manager = saturated_manager()
+        with pytest.raises(ConfigurationError):
+            manager.request(spec("x", "host1-2", "host3-1"), 1.0, max_preemptions=-1)

@@ -1,0 +1,77 @@
+"""Tests for the network-state report."""
+
+import pytest
+
+from repro.config import build_network
+from repro.core import AdmissionController
+from repro.core.report import network_state
+from repro.network.connection import ConnectionSpec
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+@pytest.fixture()
+def loaded_cac():
+    topo = build_network()
+    cac = AdmissionController(topo)
+    cac.request(ConnectionSpec("a", "host1-1", "host2-1", TRAFFIC, 0.09))
+    cac.request(ConnectionSpec("b", "host2-2", "host3-1", TRAFFIC, 0.07))
+    return cac
+
+
+class TestNetworkState:
+    def test_all_connections_listed(self, loaded_cac):
+        report = network_state(loaded_cac)
+        assert {c.conn_id for c in report.connections} == {"a", "b"}
+
+    def test_slack_positive_for_admitted(self, loaded_cac):
+        report = network_state(loaded_cac)
+        for c in report.connections:
+            assert c.slack >= 0
+            assert 0 <= c.slack_fraction < 1
+
+    def test_tightest_connection(self, loaded_cac):
+        report = network_state(loaded_cac)
+        tight = report.tightest_connection
+        assert tight.slack == min(c.slack for c in report.connections)
+
+    def test_ring_occupancy(self, loaded_cac):
+        report = network_state(loaded_cac)
+        busiest = report.busiest_ring
+        assert 0 < busiest.occupancy < 1
+        assert len(report.rings) == 3
+
+    def test_refresh_matches_recorded(self, loaded_cac):
+        fresh = network_state(loaded_cac, refresh=True)
+        recorded = network_state(loaded_cac, refresh=False)
+        by_id = {c.conn_id: c for c in recorded.connections}
+        for c in fresh.connections:
+            assert c.delay_bound == pytest.approx(
+                by_id[c.conn_id].delay_bound, rel=1e-12
+            )
+
+    def test_empty_network(self):
+        cac = AdmissionController(build_network())
+        report = network_state(cac)
+        assert report.connections == []
+        assert report.tightest_connection is None
+        assert "none" in report.format()
+
+    def test_format_contains_key_facts(self, loaded_cac):
+        text = network_state(loaded_cac).format()
+        assert "a" in text and "host1-1->host2-1" in text
+        assert "ring1" in text and "%" in text
+
+
+class TestPublicApi:
+    def test_top_level_exports_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) for the envelope algebra.
+
+These check structural invariants that every operation must preserve:
+monotonicity, conservativeness of bounds against brute-force evaluation,
+and algebraic identities.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envelopes.curve import Curve, sum_curves
+from repro.envelopes.operations import (
+    busy_interval,
+    deconvolve,
+    horizontal_deviation,
+    vertical_deviation,
+)
+from repro.envelopes.staircase import periodic_burst_staircase, timed_token_staircase
+
+finite_pos = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def staircase_curves(draw):
+    """Random non-decreasing staircases with a final slope."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    gaps = draw(
+        st.lists(st.floats(0.1, 5.0), min_size=n - 1, max_size=n - 1)
+        if n > 1
+        else st.just([])
+    )
+    xs = [0.0]
+    for g in gaps:
+        xs.append(xs[-1] + g)
+    jumps = draw(st.lists(st.floats(0.0, 10.0), min_size=n, max_size=n))
+    ys = []
+    acc = 0.0
+    for j in jumps:
+        acc += j
+        ys.append(acc)
+    final_slope = draw(st.floats(0.0, 5.0))
+    slopes = [0.0] * (n - 1) + [final_slope]
+    return Curve(xs, ys, slopes)
+
+
+@st.composite
+def pl_curves(draw):
+    """Random continuous non-decreasing piecewise-linear curves."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    gaps = draw(st.lists(st.floats(0.1, 5.0), min_size=n, max_size=n))
+    slopes = draw(st.lists(st.floats(0.0, 8.0), min_size=n, max_size=n))
+    points = [(0.0, draw(st.floats(0.0, 5.0)))]
+    for i in range(n - 1):
+        x, y = points[-1]
+        points.append((x + gaps[i], y + slopes[i] * gaps[i]))
+    return Curve.from_points(points, final_slope=slopes[-1])
+
+
+curves = st.one_of(staircase_curves(), pl_curves())
+
+
+class TestCurveProperties:
+    @given(curves)
+    @settings(max_examples=60, deadline=None)
+    def test_curves_are_nondecreasing(self, c):
+        grid = np.linspace(0, float(c.last_breakpoint) + 10.0, 200)
+        vals = c(grid)
+        assert all(vals[i + 1] >= vals[i] - 1e-9 for i in range(len(vals) - 1))
+
+    @given(curves, curves)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_pointwise(self, a, b):
+        s = a + b
+        for t in np.linspace(0, 20, 41):
+            assert abs(s(float(t)) - (a(float(t)) + b(float(t)))) < 1e-6 * max(
+                1.0, a(float(t)) + b(float(t))
+            )
+
+    @given(curves, curves)
+    @settings(max_examples=60, deadline=None)
+    def test_min_max_pointwise(self, a, b):
+        lo = a.minimum(b)
+        hi = a.maximum(b)
+        for t in np.linspace(0, 20, 41):
+            va, vb = a(float(t)), b(float(t))
+            scale = max(1.0, abs(va), abs(vb))
+            assert abs(lo(float(t)) - min(va, vb)) < 1e-6 * scale
+            assert abs(hi(float(t)) - max(va, vb)) < 1e-6 * scale
+
+    @given(curves)
+    @settings(max_examples=60, deadline=None)
+    def test_simplify_preserves_values(self, c):
+        s = c.simplify()
+        for t in np.linspace(0, 20, 41):
+            assert abs(s(float(t)) - c(float(t))) < 1e-6 * max(1.0, c(float(t)))
+
+    @given(curves, st.floats(0.0, 5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_right_identity(self, c, d):
+        shifted = c.shift_right(d)
+        for t in np.linspace(d, d + 20, 21):
+            # `t - d` can land a float-ulp on the wrong side of a jump;
+            # accept either side's value.
+            lo = min(c(float(t) - d - 1e-9), c(float(t) - d + 1e-9))
+            hi = max(c(float(t) - d - 1e-9), c(float(t) - d + 1e-9))
+            val = shifted(float(t))
+            assert lo - 1e-6 * max(1.0, hi) <= val <= hi + 1e-6 * max(1.0, hi)
+
+    @given(curves, st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_coarsen_dominates(self, c, n):
+        coarse = c.coarsen(n)
+        assert coarse.dominates(c, tol=1e-5)
+
+    @given(st.lists(curves, min_size=0, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_curves_matches_fold(self, cs):
+        total = sum_curves(cs)
+        for t in np.linspace(0, 10, 11):
+            expected = sum(c(float(t)) for c in cs)
+            assert abs(total(float(t)) - expected) < 1e-6 * max(1.0, expected)
+
+    @given(curves)
+    @settings(max_examples=60, deadline=None)
+    def test_pseudo_inverse_is_inverse(self, c):
+        for y in np.linspace(0, c(30.0), 12):
+            t = c.pseudo_inverse(float(y))
+            if math.isfinite(t):
+                assert c(t) >= y - 1e-6 * max(1.0, y)
+                # No earlier time reaches y (check a nudge before t).
+                if t > 1e-9:
+                    assert c(t * (1 - 1e-9)) <= y + 1e-6 * max(1.0, y) or c.left_limit(
+                        t
+                    ) <= y + 1e-6 * max(1.0, y)
+
+
+class TestDeviationProperties:
+    @given(curves, curves)
+    @settings(max_examples=60, deadline=None)
+    def test_vdev_bounds_brute_force(self, a, s):
+        horizon = float(max(a.last_breakpoint, s.last_breakpoint)) + 5.0
+        v = vertical_deviation(a, s, t_max=horizon)
+        grid = np.linspace(1e-9, horizon, 300)
+        brute = float(np.max(a(grid) - s(grid)))
+        assert v >= brute - 1e-6 * max(1.0, abs(brute))
+
+    @given(curves, curves)
+    @settings(max_examples=60, deadline=None)
+    def test_hdev_bounds_brute_force(self, a, s):
+        d = horizontal_deviation(a, s)
+        if math.isinf(d):
+            return
+        # Every bit is served within d: S(t + d) >= A(t) for all t.
+        horizon = float(max(a.last_breakpoint, s.last_breakpoint)) + 5.0
+        for t in np.linspace(0, horizon, 200):
+            assert s(float(t) + d + 1e-6) >= a(float(t)) - 1e-5 * max(
+                1.0, a(float(t))
+            )
+
+    @given(curves, curves)
+    @settings(max_examples=40, deadline=None)
+    def test_busy_interval_is_crossing(self, a, s):
+        b = busy_interval(a, s)
+        if math.isinf(b) or b == 0.0:
+            return
+        # At B the arrival envelope is caught up (allowing tolerance).
+        assert a(b) - s(b) <= 1e-5 * max(1.0, a(b))
+
+    @given(curves, curves)
+    @settings(max_examples=30, deadline=None)
+    def test_deconvolve_dominates_brute_force(self, a, s):
+        b = busy_interval(a, s)
+        if math.isinf(b):
+            return
+        out = deconvolve(a, s, t_limit=b)
+        ts = np.linspace(0.0, b, 60) if b > 0 else np.array([0.0])
+        for big_i in np.linspace(0.0, 10.0, 21):
+            brute = float(np.max(a(ts + big_i) - s(ts)))
+            assert out(float(big_i)) >= brute - 1e-5 * max(1.0, abs(brute))
+
+
+class TestTokenBucketMajorant:
+    @given(curves)
+    @settings(max_examples=60, deadline=None)
+    def test_majorant_dominates_curve(self, c):
+        from repro.envelopes.operations import token_bucket_majorant
+
+        sigma, rho = token_bucket_majorant(c)
+        horizon = float(c.last_breakpoint) + 10.0
+        for t in np.linspace(0, horizon, 150):
+            assert sigma + rho * t >= c(float(t)) - 1e-6 * max(1.0, c(float(t)))
+
+    @given(curves)
+    @settings(max_examples=60, deadline=None)
+    def test_majorant_is_tight_somewhere(self, c):
+        from repro.envelopes.operations import token_bucket_majorant
+
+        sigma, rho = token_bucket_majorant(c)
+        if sigma == 0.0:
+            return  # the curve never exceeds its rate line
+        # The gap sigma + rho*t - c(t) attains (near) zero at some
+        # breakpoint or left limit.
+        gaps = [
+            sigma + rho * float(x) - c(float(x)) for x in c.xs
+        ] + [
+            sigma + rho * float(x) - c.left_limit(float(x)) for x in c.xs[1:]
+        ]
+        assert min(gaps) <= 1e-6 * max(1.0, sigma)
+
+
+class TestStaircaseProperties:
+    @given(
+        st.floats(1e-4, 5e-3),
+        st.floats(4e-3, 2e-2),
+        st.integers(4, 32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_token_staircase_never_exceeds_formula(self, h, ttrt, n):
+        bw = 100e6
+        s = timed_token_staircase(h, ttrt, bw, n_steps=n)
+        for t in np.linspace(0, ttrt * (n + 10), 300):
+            # Evaluate the formula a hair later to avoid float-ulp
+            # disagreement about which side of a jump `t` falls on.
+            true = max(0.0, (math.floor((t + 1e-9 * ttrt) / ttrt) - 1) * h * bw)
+            assert s(float(t)) <= true + 1e-3
+
+    @given(st.floats(1.0, 1e5), st.floats(1e-3, 1.0), st.integers(2, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_periodic_staircase_dominates_formula(self, c, p, n):
+        a = periodic_burst_staircase(c, p, n_periods=n)
+        for t in np.linspace(0, p * (n + 10), 300):
+            # Evaluate the formula a hair earlier to avoid float-ulp
+            # disagreement about which side of a jump `t` falls on.
+            true = c * (math.floor((t - 1e-9 * p) / p) + 1)
+            assert a(float(t)) >= true - 1e-6 * true

@@ -1,0 +1,140 @@
+"""Unit tests for staircase constructors and Theorem-2 quantization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.envelopes.curve import Curve
+from repro.envelopes.staircase import (
+    ceiling_quantize,
+    periodic_burst_staircase,
+    timed_token_staircase,
+)
+from repro.errors import CurveError
+
+
+def true_timed_token(t, h, ttrt, bw):
+    return max(0.0, (math.floor(t / ttrt) - 1) * h * bw)
+
+
+class TestTimedTokenStaircase:
+    def test_matches_formula_within_horizon(self):
+        h, ttrt, bw = 0.002, 0.01, 100e6
+        s = timed_token_staircase(h, ttrt, bw, n_steps=32)
+        for t in np.linspace(0.0, 0.3, 400):
+            assert s(float(t)) == pytest.approx(
+                true_timed_token(t, h, ttrt, bw), abs=1e-3
+            )
+
+    def test_zero_until_two_rotations(self):
+        s = timed_token_staircase(0.001, 0.008, 100e6)
+        assert s(0.0) == 0.0
+        assert s(0.0159) == 0.0
+        assert s(0.016) == pytest.approx(0.001 * 100e6)
+
+    def test_tail_never_exceeds_true_staircase(self):
+        h, ttrt, bw = 0.001, 0.008, 100e6
+        s = timed_token_staircase(h, ttrt, bw, n_steps=8)
+        for t in np.linspace(0.0, 1.0, 2000):
+            assert s(float(t)) <= true_timed_token(t, h, ttrt, bw) + 1e-3
+
+    def test_zero_bandwidth_gives_zero_curve(self):
+        s = timed_token_staircase(0.0, 0.008, 100e6)
+        assert s(10.0) == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(CurveError):
+            timed_token_staircase(0.001, -1.0, 100e6)
+        with pytest.raises(CurveError):
+            timed_token_staircase(-0.001, 1.0, 100e6)
+
+    def test_long_term_rate(self):
+        h, ttrt, bw = 0.002, 0.01, 100e6
+        s = timed_token_staircase(h, ttrt, bw, n_steps=16)
+        assert s.final_slope == pytest.approx(h * bw / ttrt)
+
+
+class TestPeriodicBurstStaircase:
+    def test_instantaneous_bursts(self):
+        a = periodic_burst_staircase(100.0, 1.0, n_periods=10)
+        assert a(0.0) == 100.0   # burst lands immediately
+        assert a(0.99) == 100.0
+        assert a(1.0) == 200.0
+        assert a(2.5) == 300.0
+
+    def test_tail_dominates_true_staircase(self):
+        a = periodic_burst_staircase(100.0, 1.0, n_periods=5)
+        for t in np.linspace(0, 50, 1000):
+            true = 100.0 * (math.floor(t / 1.0) + 1)
+            assert a(float(t)) >= true - 1e-6
+
+    def test_zero_burst(self):
+        a = periodic_burst_staircase(0.0, 1.0)
+        assert a(100.0) == 0.0
+
+    def test_finite_peak_rate_ramps(self):
+        # 100 bits per 1s period at peak 1000 bits/s: ramp lasts 0.1s.
+        a = periodic_burst_staircase(100.0, 1.0, n_periods=10, peak_rate=1000.0)
+        assert a(0.0) == pytest.approx(0.0)
+        assert a(0.05) == pytest.approx(50.0)
+        assert a(0.1) == pytest.approx(100.0)
+        assert a(0.5) == pytest.approx(100.0)
+        assert a(1.05) == pytest.approx(150.0)
+
+    def test_peak_rate_slower_than_average(self):
+        # Peak rate can't deliver C within P: degenerate constant-rate source.
+        a = periodic_burst_staircase(100.0, 1.0, peak_rate=50.0)
+        assert a(2.0) == pytest.approx(100.0)
+
+    def test_long_term_rate(self):
+        a = periodic_burst_staircase(100.0, 0.5, n_periods=8)
+        assert a.final_slope == pytest.approx(200.0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(CurveError):
+            periodic_burst_staircase(1.0, 0.0)
+
+
+class TestCeilingQuantize:
+    def test_constant_input(self):
+        # 2.5 frames -> 3 frames worth of cells.
+        f = Curve.constant(2.5)
+        g = ceiling_quantize(f, quantum_in=1.0, quantum_out=10.0, t_max=10.0)
+        assert g(0.0) == pytest.approx(30.0)
+
+    def test_exact_multiples_not_rounded_up(self):
+        f = Curve.constant(3.0)
+        g = ceiling_quantize(f, 1.0, 10.0, t_max=5.0)
+        assert g(0.0) == pytest.approx(30.0)
+
+    def test_staircase_structure(self):
+        # Linear input at rate 1 with quantum 1: steps at 0+,1,2,...
+        f = Curve.affine(0.0, 1.0)
+        g = ceiling_quantize(f, 1.0, 1.0, t_max=5.0)
+        assert g(0.5) == pytest.approx(1.0)
+        assert g(1.5) == pytest.approx(2.0)
+        assert g(4.5) == pytest.approx(5.0)
+
+    def test_dominates_true_quantization(self):
+        f = Curve.affine(2.0, 3.0)
+        g = ceiling_quantize(f, 4.0, 5.0, t_max=20.0)
+        for t in np.linspace(0, 50, 500):
+            true = math.ceil(f(float(t)) / 4.0 - 1e-12) * 5.0
+            assert g(float(t)) >= true - 1e-6
+
+    def test_fallback_linear_bound_when_too_many_steps(self):
+        f = Curve.affine(0.0, 1e9)
+        g = ceiling_quantize(f, 1.0, 1.0, t_max=10.0, max_steps=16)
+        # Linear bound: f + 1 quantum.
+        assert g(1.0) == pytest.approx(1e9 + 1.0)
+
+    def test_rejects_bad_quanta(self):
+        with pytest.raises(CurveError):
+            ceiling_quantize(Curve.zero(), 0.0, 1.0, 1.0)
+        with pytest.raises(CurveError):
+            ceiling_quantize(Curve.zero(), 1.0, -1.0, 1.0)
+
+    def test_zero_input_maps_to_zero(self):
+        g = ceiling_quantize(Curve.zero(), 1.0, 1.0, t_max=5.0)
+        assert g(0.0) == pytest.approx(0.0)

@@ -1,0 +1,64 @@
+"""Tests for CSV experiment artifacts."""
+
+import os
+
+import pytest
+
+from repro.experiments.artifacts import read_series_csv, write_series_csv
+from repro.experiments.common import SeriesResult
+
+
+def sample_series():
+    a = SeriesResult("U=0.3")
+    a.add(0.0, 0.9, 0.01)
+    a.add(0.5, 0.95, 0.02)
+    b = SeriesResult("U=0.9")
+    b.add(0.0, 0.4, 0.0)
+    b.add(0.5, 0.55, 0.03)
+    b.add(1.0, 0.45, 0.01)
+    return [a, b]
+
+
+class TestCsvRoundTrip:
+    def test_write_creates_file(self, tmp_path):
+        path = write_series_csv(str(tmp_path / "fig.csv"), "beta", sample_series())
+        assert os.path.exists(path)
+
+    def test_round_trip_preserves_values(self, tmp_path):
+        path = write_series_csv(str(tmp_path / "fig.csv"), "beta", sample_series())
+        x_label, series = read_series_csv(path)
+        assert x_label == "beta"
+        assert [s.label for s in series] == ["U=0.3", "U=0.9"]
+        b = series[1]
+        assert b.xs == [0.0, 0.5, 1.0]
+        assert b.ys[1] == pytest.approx(0.55)
+        assert b.spreads[2] == pytest.approx(0.01)
+
+    def test_missing_points_skipped(self, tmp_path):
+        # U=0.3 has no x=1.0 point; reading back must not invent one.
+        path = write_series_csv(str(tmp_path / "fig.csv"), "beta", sample_series())
+        _, series = read_series_csv(path)
+        assert 1.0 not in series[0].xs
+
+    def test_nested_directory_created(self, tmp_path):
+        path = write_series_csv(
+            str(tmp_path / "deep" / "dir" / "fig.csv"), "x", sample_series()
+        )
+        assert os.path.exists(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("")
+        with pytest.raises(ValueError):
+            read_series_csv(str(p))
+
+
+class TestCliCsvOption:
+    def test_figure_main_writes_csv(self, tmp_path):
+        from repro.experiments.common import ExperimentSettings
+        from repro.experiments.figure8 import main
+
+        tiny = ExperimentSettings(n_requests=15, warmup_requests=2, seeds=(1,))
+        out = main(tiny, csv_dir=str(tmp_path))
+        assert "figure8.csv" in out
+        assert os.path.exists(tmp_path / "figure8.csv")

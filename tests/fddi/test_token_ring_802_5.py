@@ -1,0 +1,99 @@
+"""Tests for the 802.5 token-ring MAC server (the Section 7 extension)."""
+
+import math
+
+import pytest
+
+from repro.envelopes.curve import Curve
+from repro.errors import BufferOverflowError, ConfigurationError, UnstableSystemError
+from repro.fddi.token_ring_802_5 import TokenRing8025MacServer
+from repro.traffic import PeriodicTraffic
+from repro.units import MBIT
+
+BW = 16 * MBIT  # classic 16 Mbps token ring
+
+
+def make_server(tht=0.001, cycle=0.010, **kw):
+    return TokenRing8025MacServer(tht, cycle, BW, **kw)
+
+
+class TestConstruction:
+    def test_valid(self):
+        s = make_server()
+        assert s.guaranteed_rate == pytest.approx(0.001 * BW / 0.010)
+
+    def test_for_ring_builder(self):
+        s = TokenRing8025MacServer.for_ring(
+            holding_times=[0.001, 0.002, 0.003],
+            station_index=1,
+            bandwidth=BW,
+            walk_time=0.0005,
+        )
+        assert s.holding_time == 0.002
+        assert s.cycle_time == pytest.approx(0.0065)
+
+    def test_bad_station_index(self):
+        with pytest.raises(ConfigurationError):
+            TokenRing8025MacServer.for_ring([0.001], 3, BW)
+
+    def test_holding_exceeding_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_server(tht=0.02, cycle=0.01)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_server(tht=-0.001)
+        with pytest.raises(ConfigurationError):
+            TokenRing8025MacServer(0.001, 0.0, BW)
+
+
+class TestAnalysis:
+    def test_single_burst_delay(self):
+        s = make_server(tht=0.001, cycle=0.010)
+        bits = 0.001 * BW  # exactly one visit's worth
+        r = s.analyze(Curve.constant(bits))
+        # First credited service lands at 2 cycles (same shape as Theorem 1).
+        assert r.delay_bound == pytest.approx(0.020, rel=1e-6)
+
+    def test_unstable_raises(self):
+        s = make_server(tht=0.0001, cycle=0.010)  # 160 kbps guaranteed
+        with pytest.raises(UnstableSystemError):
+            s.analyze(Curve.affine(0.0, 1 * MBIT))
+
+    def test_zero_holding_time_raises(self):
+        s = TokenRing8025MacServer(0.0, 0.01, BW)
+        with pytest.raises(UnstableSystemError):
+            s.analyze(Curve.constant(1.0))
+
+    def test_buffer_overflow_raises(self):
+        s = make_server(buffer_bits=100.0)
+        with pytest.raises(BufferOverflowError):
+            s.analyze(Curve.constant(10_000.0))
+
+    def test_periodic_traffic_bounded(self):
+        traffic = PeriodicTraffic(c=10_000.0, p=0.05)
+        r = make_server().analyze(traffic.envelope(1.0))
+        assert math.isfinite(r.delay_bound)
+        assert r.output.final_slope == pytest.approx(traffic.long_term_rate, rel=1e-6)
+
+    def test_output_capped_at_ring_rate(self):
+        r = make_server().analyze(Curve.constant(50_000.0))
+        assert r.output(0.0) == pytest.approx(0.0)
+        assert r.output(0.001) <= BW * 0.001 + 1e-3
+
+    def test_same_shape_as_fddi_theorem1(self):
+        """With matching parameters the 802.5 analysis coincides with the
+        FDDI one — the formal content of the Section 7 remark."""
+        from repro.fddi import FDDIMacServer
+
+        traffic = PeriodicTraffic(c=20_000.0, p=0.04)
+        env = traffic.envelope(1.0)
+        fddi = FDDIMacServer(0.001, 0.010, BW).analyze(env)
+        ring = make_server(tht=0.001, cycle=0.010).analyze(env)
+        assert ring.delay_bound == pytest.approx(fddi.delay_bound, rel=1e-9)
+        assert ring.backlog_bound == pytest.approx(fddi.backlog_bound, rel=1e-9)
+
+    def test_cache_key_distinguishes_params(self):
+        a = make_server(tht=0.001).cache_key()
+        b = make_server(tht=0.002).cache_key()
+        assert a != b

@@ -1,0 +1,106 @@
+"""Tests for the interface-device stages (Theorem 2 and the mirror)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.atm import AtmLink, CELL_PAYLOAD_BITS
+from repro.envelopes.curve import Curve
+from repro.errors import ConfigurationError, TopologyError
+from repro.interface_device import (
+    CellFrameConversionServer,
+    FrameCellConversionServer,
+    InterfaceDevice,
+)
+from repro.units import MBIT
+
+
+class TestFrameCellConversion:
+    def test_cells_per_frame(self):
+        s = FrameCellConversionServer(frame_bits=1000.0)
+        assert s.cells_per_frame == math.ceil(1000 / 384)
+        assert s.bits_out_per_frame == s.cells_per_frame * CELL_PAYLOAD_BITS
+
+    def test_eq21_shape(self):
+        # A(I) = one 1000-bit frame: output = 3 cells * 384 bits.
+        s = FrameCellConversionServer(frame_bits=1000.0)
+        r = s.analyze(Curve.constant(1000.0))
+        assert r.output(0.0) == pytest.approx(3 * 384.0)
+
+    def test_output_dominates_eq21(self):
+        s = FrameCellConversionServer(frame_bits=1000.0, horizon=0.1)
+        arrival = Curve.affine(500.0, 100_000.0)
+        r = s.analyze(arrival)
+        for t in np.linspace(0, 0.2, 100):
+            a = arrival(float(t))
+            eq21 = math.ceil(a / 1000.0 - 1e-12) * 3 * 384.0
+            assert r.output(float(t)) >= eq21 - 1e-6
+
+    def test_processing_delay_is_bound(self):
+        s = FrameCellConversionServer(frame_bits=1000.0, processing_delay=2e-5)
+        assert s.analyze(Curve.zero()).delay_bound == 2e-5
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            FrameCellConversionServer(frame_bits=0.0)
+        with pytest.raises(ConfigurationError):
+            FrameCellConversionServer(frame_bits=1.0, processing_delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            FrameCellConversionServer(frame_bits=1.0, horizon=0.0)
+
+
+class TestCellFrameConversion:
+    def test_reassembly_quantum(self):
+        s = CellFrameConversionServer(frame_bits=1000.0)
+        assert s.bits_in_per_frame == 3 * 384.0
+
+    def test_round_trip_preserves_frame_count(self):
+        # frames -> cells -> frames: totals match frame-for-frame.
+        fwd = FrameCellConversionServer(frame_bits=1000.0)
+        back = CellFrameConversionServer(frame_bits=1000.0)
+        arrival = Curve.constant(2000.0)  # 2 frames
+        cells = fwd.analyze(arrival).output
+        frames = back.analyze(cells).output
+        assert frames(0.0) == pytest.approx(2000.0)
+
+    def test_delay_is_processing_only(self):
+        s = CellFrameConversionServer(frame_bits=1000.0, processing_delay=1e-5)
+        assert s.analyze(Curve.constant(384.0)).delay_bound == 1e-5
+
+
+class TestInterfaceDevice:
+    def make_device(self, **kw):
+        return InterfaceDevice(
+            "id1",
+            "ring1",
+            input_port_delay=1e-5,
+            frame_switch_delay=2e-5,
+            frame_processing_delay=3e-5,
+            **kw,
+        )
+
+    def test_constant_stage_servers(self):
+        dev = self.make_device()
+        assert dev.input_port_server().delay == 1e-5
+        assert dev.frame_switch_server().delay == 2e-5
+
+    def test_uplink_attachment(self):
+        dev = self.make_device()
+        port = dev.attach_uplink(AtmLink("id1->s1", rate=155 * MBIT))
+        assert dev.uplink_port is port
+        assert dev.uplink.link_id == "id1->s1"
+
+    def test_double_uplink_rejected(self):
+        dev = self.make_device()
+        dev.attach_uplink(AtmLink("a", rate=1.0))
+        with pytest.raises(TopologyError):
+            dev.attach_uplink(AtmLink("b", rate=1.0))
+
+    def test_missing_uplink_rejected(self):
+        with pytest.raises(TopologyError):
+            _ = self.make_device().uplink_port
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ConfigurationError):
+            InterfaceDevice("x", "r", input_port_delay=-1.0)

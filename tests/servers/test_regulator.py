@@ -1,0 +1,115 @@
+"""Tests for the greedy traffic regulator (shaper)."""
+
+import math
+
+import pytest
+
+from repro.envelopes.curve import Curve
+from repro.errors import BufferOverflowError, ConfigurationError, UnstableSystemError
+from repro.servers.regulator import RegulatorServer
+from repro.traffic import DualPeriodicTraffic
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = RegulatorServer(sigma=1000.0, rho=1e6)
+        assert r.shaping_curve()(0.0) == 1000.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            RegulatorServer(sigma=-1.0, rho=1.0)
+        with pytest.raises(ConfigurationError):
+            RegulatorServer(sigma=0.0, rho=0.0)
+        with pytest.raises(ConfigurationError):
+            RegulatorServer(sigma=0.0, rho=100.0, peak=50.0)
+        with pytest.raises(ConfigurationError):
+            RegulatorServer(sigma=0.0, rho=1.0, buffer_bits=0.0)
+
+
+class TestShaping:
+    def test_output_envelope_capped(self):
+        # A 10 kb burst shaped to sigma=1 kb, rho=1 Mbps.
+        r = RegulatorServer(sigma=1000.0, rho=1e6)
+        result = r.analyze(Curve.constant(10_000.0))
+        assert result.output(0.0) == pytest.approx(1000.0)
+        assert result.output(0.001) == pytest.approx(2000.0)
+
+    def test_shaping_delay_is_burst_drain_time(self):
+        r = RegulatorServer(sigma=1000.0, rho=1e6)
+        result = r.analyze(Curve.constant(10_000.0))
+        # (10000 - 1000) / 1e6 = 9 ms to drain the excess burst.
+        assert result.delay_bound == pytest.approx(0.009)
+
+    def test_conforming_traffic_passes_untouched(self):
+        r = RegulatorServer(sigma=5000.0, rho=2e6)
+        arrival = Curve.affine(1000.0, 1e6)
+        result = r.analyze(arrival)
+        assert result.delay_bound == pytest.approx(0.0, abs=1e-9)
+        for t in (0.0, 0.01, 0.1):
+            assert result.output(t) == pytest.approx(arrival(t))
+
+    def test_unstable_input_raises(self):
+        r = RegulatorServer(sigma=1000.0, rho=1e6)
+        with pytest.raises(UnstableSystemError):
+            r.analyze(Curve.affine(0.0, 2e6))
+
+    def test_buffer_overflow_raises(self):
+        r = RegulatorServer(sigma=100.0, rho=1e6, buffer_bits=500.0)
+        with pytest.raises(BufferOverflowError):
+            r.analyze(Curve.constant(10_000.0))
+
+    def test_peak_cap_applies(self):
+        r = RegulatorServer(sigma=10_000.0, rho=1e6, peak=2e6)
+        result = r.analyze(Curve.constant(5_000.0))
+        assert result.output(0.001) <= 2e6 * 0.001 + 1e-9
+
+
+class TestInChain:
+    def test_regulated_connection_has_smaller_port_delay(self):
+        """Ref [15]'s point: shaping at the entry reduces everyone's delay
+        at the shared multiplexer (at the cost of shaping delay)."""
+        from repro.config import build_network
+        from repro.core.delay import ConnectionLoad, DelayAnalyzer, RegulatorSpec
+        from repro.network.connection import ConnectionSpec
+        from repro.network.routing import compute_route
+
+        traffic = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+        topo = build_network()
+        analyzer = DelayAnalyzer(topo)
+        s0 = ConnectionSpec("c0", "host1-1", "host2-1", traffic, 0.3)
+        s1 = ConnectionSpec("c1", "host1-2", "host3-1", traffic, 0.3)
+        r0 = compute_route(topo, "host1-1", "host2-1")
+        r1 = compute_route(topo, "host1-2", "host3-1")
+        reg = RegulatorSpec(sigma=20_000.0, rho=9e6)
+
+        plain = analyzer.compute(
+            [ConnectionLoad(s0, r0, 0.001, 0.002), ConnectionLoad(s1, r1, 0.002, 0.002)]
+        )
+        shaped = analyzer.compute(
+            [
+                ConnectionLoad(s0, r0, 0.001, 0.002, regulator=reg),
+                ConnectionLoad(s1, r1, 0.002, 0.002),
+            ]
+        )
+        # c1 (unshaped bystander) sees a smaller uplink delay once c0 is
+        # regulated.
+        assert shaped["c1"].hop_delay("uplink") <= plain["c1"].hop_delay("uplink") + 1e-12
+        # c0 pays a shaping delay in exchange.
+        assert shaped["c0"].hop_delay("regulator") >= 0.0
+
+    def test_regulator_stage_named_in_breakdown(self):
+        from repro.config import build_network
+        from repro.core.delay import ConnectionLoad, DelayAnalyzer, RegulatorSpec
+        from repro.network.connection import ConnectionSpec
+        from repro.network.routing import compute_route
+
+        traffic = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+        topo = build_network()
+        analyzer = DelayAnalyzer(topo)
+        spec = ConnectionSpec("c", "host1-1", "host2-1", traffic, 0.3)
+        route = compute_route(topo, "host1-1", "host2-1")
+        load = ConnectionLoad(
+            spec, route, 0.002, 0.002, regulator=RegulatorSpec(30_000.0, 9e6)
+        )
+        report = analyzer.compute([load])["c"]
+        assert any("regulator" in name for name, _ in report.per_hop)

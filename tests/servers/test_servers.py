@@ -1,0 +1,60 @@
+"""Tests for the server framework (constant-delay, chains)."""
+
+import pytest
+
+from repro.envelopes.curve import Curve
+from repro.errors import ConfigurationError
+from repro.servers import ConstantDelayServer, ServerChain
+
+
+class TestConstantDelayServer:
+    def test_delay_bound(self):
+        s = ConstantDelayServer(0.005, name="prop")
+        r = s.analyze(Curve.affine(10.0, 1.0))
+        assert r.delay_bound == 0.005
+
+    def test_output_unchanged(self):
+        s = ConstantDelayServer(0.005)
+        a = Curve.affine(10.0, 1.0)
+        r = s.analyze(a)
+        assert r.output is a
+
+    def test_zero_delay_ok(self):
+        assert ConstantDelayServer(0.0).analyze(Curve.zero()).delay_bound == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDelayServer(-1.0)
+
+    def test_no_backlog(self):
+        r = ConstantDelayServer(1.0).analyze(Curve.constant(100.0))
+        assert r.backlog_bound == 0.0
+
+
+class TestServerChain:
+    def test_delays_sum(self):
+        chain = ServerChain(
+            [ConstantDelayServer(0.001), ConstantDelayServer(0.002)], name="x"
+        )
+        r = chain.analyze(Curve.affine(1.0, 1.0))
+        assert r.delay_bound == pytest.approx(0.003)
+
+    def test_empty_chain(self):
+        chain = ServerChain([])
+        a = Curve.affine(1.0, 1.0)
+        r = chain.analyze(a)
+        assert r.delay_bound == 0.0
+        assert r.output is a
+
+    def test_per_hop_breakdown(self):
+        chain = ServerChain(
+            [ConstantDelayServer(0.001, name="a"), ConstantDelayServer(0.002, name="b")]
+        )
+        breakdown, out = chain.analyze_per_hop(Curve.zero())
+        assert [name for name, _ in breakdown] == ["a", "b"]
+        assert breakdown[1][1].delay_bound == 0.002
+        assert out(1.0) == 0.0
+
+    def test_repr_lists_servers(self):
+        chain = ServerChain([ConstantDelayServer(0.1, name="hop1")], name="c")
+        assert "hop1" in repr(chain)

@@ -1,0 +1,155 @@
+"""Tests for the DES kernel, random streams and metrics."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.metrics import RunningStats, SimulationMetrics
+from repro.sim.random import RandomStreams
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_callback_can_schedule(self):
+        sim = Simulator()
+        fired = []
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append("x"))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_stops(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_event_budget(self):
+        sim = Simulator()
+        def loop():
+            sim.schedule(0.001, loop)
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestRandomStreams:
+    def test_reproducible(self):
+        a = RandomStreams(42)
+        b = RandomStreams(42)
+        assert [a.exponential("x", 1.0) for _ in range(5)] == [
+            b.exponential("x", 1.0) for _ in range(5)
+        ]
+
+    def test_streams_independent(self):
+        s = RandomStreams(42)
+        xs = [s.exponential("x", 1.0) for _ in range(5)]
+        # Consuming from another stream must not change "x".
+        s2 = RandomStreams(42)
+        s2.exponential("y", 1.0)
+        xs2 = [s2.exponential("x", 1.0) for _ in range(5)]
+        assert xs == xs2
+
+    def test_different_seeds_differ(self):
+        assert RandomStreams(1).exponential("x", 1.0) != RandomStreams(2).exponential(
+            "x", 1.0
+        )
+
+    def test_exponential_mean(self):
+        s = RandomStreams(7)
+        values = [s.exponential("x", 2.0) for _ in range(4000)]
+        assert sum(values) / len(values) == pytest.approx(2.0, rel=0.1)
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(1).exponential("x", 0.0)
+
+
+class TestStats:
+    def test_running_stats_basic(self):
+        st = RunningStats()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            st.add(v)
+        assert st.mean == pytest.approx(2.5)
+        assert st.variance == pytest.approx(5.0 / 3.0)
+        assert st.minimum == 1.0 and st.maximum == 4.0
+
+    def test_empty_stats_nan(self):
+        st = RunningStats()
+        assert math.isnan(st.mean)
+
+    def test_confidence_interval_contains_mean(self):
+        st = RunningStats()
+        for v in range(100):
+            st.add(float(v))
+        lo, hi = st.confidence_interval()
+        assert lo < st.mean < hi
+
+    def test_metrics_admission_probability(self):
+        m = SimulationMetrics()
+        m.n_admitted = 3
+        m.n_rejected_cac = 1
+        assert m.admission_probability == pytest.approx(0.75)
+
+    def test_metrics_time_weighted_active(self):
+        m = SimulationMetrics()
+        m.record_active_change(0.0, +1)   # 1 active from t=0
+        m.record_active_change(10.0, +1)  # 2 active from t=10
+        assert m.mean_active(20.0) == pytest.approx(1.5)

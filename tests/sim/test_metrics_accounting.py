@@ -1,0 +1,71 @@
+"""Tests for simulator accounting: rejection causes and host blocking."""
+
+import math
+
+import pytest
+
+from repro.config import NetworkConfig, SimulationConfig
+from repro.sim.connection_sim import ConnectionSimConfig, ConnectionSimulator
+from repro.sim.metrics import SimulationMetrics
+from repro.traffic.generators import WorkloadSpec
+
+
+class TestRejectionSplit:
+    def test_split_sums_to_total(self):
+        cfg = ConnectionSimConfig(
+            utilization=0.6, beta=0.5, seed=11, n_requests=60, warmup_requests=5
+        )
+        sim = ConnectionSimulator(cfg)
+        res = sim.run()
+        m = res.metrics
+        assert (
+            m.n_rejected_no_bandwidth + m.n_rejected_infeasible
+            == m.n_rejected_cac
+        )
+
+    def test_heavy_load_produces_both_causes(self):
+        # At heavy offered load with mixed deadlines both failure modes
+        # appear over a long enough run (statistically robust seed).
+        cfg = ConnectionSimConfig(
+            utilization=0.9, beta=1.0, seed=5, n_requests=80, warmup_requests=5
+        )
+        m = ConnectionSimulator(cfg).run().metrics
+        assert m.n_rejected_cac > 0
+
+
+class TestHostBlocking:
+    def base_cfg(self, count_blocked):
+        sim_cfg = SimulationConfig(
+            mean_lifetime=3600.0,  # connections effectively never leave
+            count_host_blocked=count_blocked,
+        )
+        return ConnectionSimConfig(
+            utilization=0.9,
+            beta=0.0,
+            seed=2,
+            n_requests=120,
+            warmup_requests=0,
+            simulation=sim_cfg,
+        )
+
+    def test_blocked_requests_counted_when_enabled(self):
+        m_off = ConnectionSimulator(self.base_cfg(False)).run().metrics
+        m_on = ConnectionSimulator(self.base_cfg(True)).run().metrics
+        # Same seed, same trajectory: blocking events are identical, only
+        # the accounting differs.
+        assert m_on.n_blocked_no_host == m_off.n_blocked_no_host
+        if m_on.n_blocked_no_host > 0:
+            assert m_on.n_rejected_cac > m_off.n_rejected_cac
+
+    def test_ap_including_blocked_lower_bound(self):
+        m = SimulationMetrics()
+        m.n_requests = 10
+        m.n_admitted = 4
+        m.n_rejected_cac = 2
+        assert m.admission_probability == pytest.approx(4 / 6)
+        assert m.admission_probability_including_blocked == pytest.approx(0.4)
+
+    def test_empty_metrics_nan(self):
+        m = SimulationMetrics()
+        assert math.isnan(m.admission_probability)
+        assert math.isnan(m.admission_probability_including_blocked)

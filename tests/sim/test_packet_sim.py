@@ -1,0 +1,164 @@
+"""Tests for the packet-level validation simulator (experiment E3).
+
+The central property: for any admitted connection set, every observed
+end-to-end delay must stay at or below the analytic worst-case bound the
+CAC computed.
+"""
+
+import pytest
+
+from repro.config import build_network
+from repro.core import AdmissionController
+from repro.core.delay import ConnectionLoad
+from repro.network.connection import ConnectionSpec
+from repro.sim.packet_sim import PacketLevelSimulator
+from repro.traffic import DualPeriodicTraffic, PeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+def admit(pairs, deadline=0.09, beta=0.5, traffic=TRAFFIC):
+    from repro.config import CACConfig
+
+    topo = build_network()
+    cac = AdmissionController(topo, cac_config=CACConfig(beta=beta))
+    for i, (src, dst) in enumerate(pairs):
+        res = cac.request(ConnectionSpec(f"c{i}", src, dst, traffic, deadline))
+        assert res.admitted, res.reason
+    loads = [
+        ConnectionLoad(r.spec, r.route, r.h_source, r.h_dest)
+        for r in cac.connections.values()
+    ]
+    return topo, cac, loads
+
+
+class TestBoundsDominate:
+    def test_single_connection(self):
+        topo, cac, loads = admit([("host1-1", "host2-1")])
+        result = PacketLevelSimulator(topo, loads).run(duration=0.3)
+        assert result.delivered_batches["c0"] > 0
+        assert result.max_delay["c0"] <= cac.connections["c0"].delay_bound + 1e-9
+
+    def test_shared_uplink_pair(self):
+        topo, cac, loads = admit([("host1-1", "host2-1"), ("host1-2", "host3-1")])
+        result = PacketLevelSimulator(topo, loads).run(duration=0.3)
+        for cid in ("c0", "c1"):
+            assert result.max_delay[cid] <= cac.connections[cid].delay_bound + 1e-9
+
+    def test_six_connections_all_rings(self):
+        pairs = [
+            ("host1-1", "host2-1"),
+            ("host1-2", "host3-1"),
+            ("host2-2", "host3-2"),
+            ("host2-3", "host1-3"),
+            ("host3-3", "host1-4"),
+            ("host3-4", "host2-4"),
+        ]
+        topo, cac, loads = admit(pairs)
+        result = PacketLevelSimulator(topo, loads).run(duration=0.3)
+        for cid, rec in cac.connections.items():
+            assert result.delivered_batches.get(cid, 0) > 0
+            assert result.max_delay[cid] <= rec.delay_bound + 1e-9
+
+    def test_minimal_allocation_still_bounded(self):
+        # beta=0 gives the tightest allocations — the closest the system
+        # runs to its bound.
+        topo, cac, loads = admit(
+            [("host1-1", "host2-1"), ("host1-2", "host2-2")], beta=0.0
+        )
+        result = PacketLevelSimulator(topo, loads).run(duration=0.3)
+        for cid, rec in cac.connections.items():
+            assert result.max_delay[cid] <= rec.delay_bound + 1e-9
+
+    def test_periodic_traffic_model(self):
+        traffic = PeriodicTraffic(c=100_000.0, p=0.02)
+        topo, cac, loads = admit([("host1-1", "host2-1")], traffic=traffic)
+        result = PacketLevelSimulator(topo, loads).run(duration=0.3)
+        assert result.max_delay["c0"] <= cac.connections["c0"].delay_bound + 1e-9
+
+
+class TestAdversarialPhase:
+    def test_bounds_still_dominate(self):
+        topo, cac, loads = admit([("host1-1", "host2-1"), ("host1-2", "host3-1")])
+        result = PacketLevelSimulator(topo, loads, adversarial_phase=True).run(
+            duration=0.3
+        )
+        for cid, rec in cac.connections.items():
+            assert result.max_delay[cid] <= rec.delay_bound + 1e-9
+
+    def test_adversarial_is_slower_than_benign(self):
+        topo, cac, loads = admit([("host1-1", "host2-1")])
+        benign = PacketLevelSimulator(topo, loads).run(duration=0.3)
+        topo2, cac2, loads2 = admit([("host1-1", "host2-1")])
+        adversarial = PacketLevelSimulator(
+            topo2, loads2, adversarial_phase=True
+        ).run(duration=0.3)
+        assert adversarial.max_delay["c0"] > benign.max_delay["c0"]
+
+    def test_tightness_improves_substantially(self):
+        topo, cac, loads = admit([("host1-1", "host2-1")])
+        adversarial = PacketLevelSimulator(
+            topo, loads, adversarial_phase=True
+        ).run(duration=0.3)
+        bound = cac.connections["c0"].delay_bound
+        assert adversarial.max_delay["c0"] / bound > 0.3
+
+
+class TestSimMechanics:
+    def test_all_offered_bits_delivered(self):
+        topo, cac, loads = admit([("host1-1", "host2-1")])
+        sim = PacketLevelSimulator(topo, loads)
+        result = sim.run(duration=0.2)
+        undelivered = [b for b in sim._batches if b.completion_time is None]
+        assert undelivered == []
+
+    def test_delays_positive(self):
+        topo, cac, loads = admit([("host1-1", "host2-1")])
+        result = PacketLevelSimulator(topo, loads).run(duration=0.2)
+        assert result.max_delay["c0"] > 0
+        assert result.mean_delay["c0"] <= result.max_delay["c0"] + 1e-12
+
+    def test_contention_raises_observed_delay(self):
+        # Same fixed allocations with and without cross-traffic: sharing the
+        # ring and the uplink can only slow c0 down.
+        from repro.network.routing import compute_route
+
+        def fixed_loads(topo, pairs):
+            loads = []
+            for i, (src, dst) in enumerate(pairs):
+                spec = ConnectionSpec(f"c{i}", src, dst, TRAFFIC, 0.2)
+                loads.append(
+                    ConnectionLoad(spec, compute_route(topo, src, dst), 0.0015, 0.0015)
+                )
+            return loads
+
+        topo1 = build_network()
+        alone = PacketLevelSimulator(
+            topo1, fixed_loads(topo1, [("host1-1", "host2-1")])
+        ).run(duration=0.2)
+        pairs = [
+            ("host1-1", "host2-1"),
+            ("host1-2", "host2-2"),
+            ("host1-3", "host2-3"),
+        ]
+        topo2 = build_network()
+        crowded = PacketLevelSimulator(topo2, fixed_loads(topo2, pairs)).run(
+            duration=0.2
+        )
+        assert crowded.max_delay["c0"] >= alone.max_delay["c0"] - 1e-6
+
+    def test_local_route_supported(self):
+        from repro.config import CACConfig
+
+        topo = build_network()
+        cac = AdmissionController(topo, cac_config=CACConfig(beta=0.5))
+        res = cac.request(
+            ConnectionSpec("c0", "host1-1", "host1-2", TRAFFIC, 0.09)
+        )
+        assert res.admitted
+        loads = [
+            ConnectionLoad(r.spec, r.route, r.h_source, r.h_dest)
+            for r in cac.connections.values()
+        ]
+        result = PacketLevelSimulator(topo, loads).run(duration=0.2)
+        assert result.max_delay["c0"] <= cac.connections["c0"].delay_bound + 1e-9

@@ -1,0 +1,87 @@
+"""Protocol-invariant tests of the simulated timed-token ring.
+
+The timed-token protocol guarantees that the time between consecutive
+token arrivals at a station never exceeds the sum of all synchronous
+allocations plus the per-rotation overhead.  The packet simulator's ring
+must honor this — it is the property Theorem 1's ``avail(t)`` staircase is
+derived from.
+"""
+
+import pytest
+
+from repro.fddi import FDDIRing
+from repro.sim.engine import Simulator
+from repro.sim.packet_sim import _Batch, _Station, _TokenRing
+from repro.units import MBIT
+
+
+def build_ring(holdings, overhead=0.0005, bandwidth=100 * MBIT):
+    sim = Simulator()
+    transmissions = {i: [] for i in range(len(holdings))}
+
+    stations = []
+    for i, h in enumerate(holdings):
+        def on_tx(chunk, now, idx=i):
+            transmissions[idx].append((now, chunk.bits))
+
+        stations.append(_Station(f"st{i}", h, on_tx))
+    ring = FDDIRing("r", ttrt=0.008, bandwidth=bandwidth, overhead=overhead)
+    token = _TokenRing(ring, stations, sim)
+    return sim, token, stations, transmissions
+
+
+class TestTokenCycle:
+    def test_saturated_station_visit_gap_bounded(self):
+        holdings = [0.001, 0.002, 0.0015]
+        sim, token, stations, tx = build_ring(holdings)
+        # Saturate every station.
+        for i, st in enumerate(stations):
+            batch = _Batch(i, f"c{i}", 0.0, 10_000_000.0)
+            st.enqueue(batch, batch.bits)
+        token.wake()
+        sim.run_until(0.2)
+        cycle_bound = sum(holdings) + 0.0005 + 1e-9
+        for i in range(len(holdings)):
+            times = [t for t, _ in tx[i]]
+            assert len(times) > 10
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            assert max(gaps) <= cycle_bound
+
+    def test_station_never_exceeds_holding_budget(self):
+        holdings = [0.001, 0.002]
+        sim, token, stations, tx = build_ring(holdings)
+        for i, st in enumerate(stations):
+            batch = _Batch(i, f"c{i}", 0.0, 5_000_000.0)
+            st.enqueue(batch, batch.bits)
+        token.wake()
+        sim.run_until(0.1)
+        for i, h in enumerate(holdings):
+            budget_bits = h * 100 * MBIT
+            for _, bits in tx[i]:
+                assert bits <= budget_bits + 1e-6
+
+    def test_idle_ring_parks_token(self):
+        sim, token, stations, tx = build_ring([0.001])
+        batch = _Batch(0, "c0", 0.0, 1000.0)
+        stations[0].enqueue(batch, batch.bits)
+        token.wake()
+        sim.run()
+        assert token.parked
+        events_after_drain = sim.events_processed
+        # Waking with nothing queued re-parks immediately.
+        token.wake()
+        sim.run()
+        assert sim.events_processed - events_after_drain <= 2
+
+    def test_work_conserving_within_sync_limits(self):
+        # All offered bits are eventually transmitted.
+        sim, token, stations, tx = build_ring([0.001, 0.001])
+        offered = 500_000.0
+        for i, st in enumerate(stations):
+            batch = _Batch(i, f"c{i}", 0.0, offered)
+            st.enqueue(batch, batch.bits)
+        token.wake()
+        sim.run_until(2.0)
+        for i in range(2):
+            sent = sum(bits for _, bits in tx[i])
+            assert sent == pytest.approx(offered)

@@ -1,0 +1,128 @@
+"""Tests for configuration validation, units and the error hierarchy."""
+
+import math
+
+import pytest
+
+from repro import errors
+from repro.config import (
+    AnalysisConfig,
+    CACConfig,
+    NetworkConfig,
+    SimulationConfig,
+    build_network,
+)
+from repro.errors import ConfigurationError
+from repro import units
+
+
+class TestUnits:
+    def test_rate_helpers(self):
+        assert units.mbps(155.52) == 155_520_000.0
+        assert units.kbps(64.0) == 64_000.0
+
+    def test_time_helpers(self):
+        assert units.milliseconds(8.0) == pytest.approx(0.008)
+        assert units.microseconds(50.0) == pytest.approx(5e-5)
+        assert units.seconds_to_ms(0.008) == pytest.approx(8.0)
+
+    def test_byte_helpers(self):
+        assert units.bytes_to_bits(53) == 424.0
+        assert units.bits_to_bytes(424.0) == 53.0
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.ConfigurationError,
+            errors.CurveError,
+            errors.UnstableSystemError,
+            errors.BufferOverflowError,
+            errors.TopologyError,
+            errors.RoutingError,
+            errors.AdmissionError,
+            errors.CyclicDependencyError,
+            errors.SimulationError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_routing_is_topology_error(self):
+        assert issubclass(errors.RoutingError, errors.TopologyError)
+
+    def test_admission_error_reason(self):
+        e = errors.AdmissionError("too busy")
+        assert e.reason == "too busy"
+
+
+class TestNetworkConfig:
+    def test_defaults_match_paper(self):
+        cfg = NetworkConfig()
+        assert cfg.n_rings == 3
+        assert cfg.hosts_per_ring == 4
+        assert cfg.atm_link_rate == pytest.approx(155.52e6)
+        assert cfg.fddi_bandwidth == pytest.approx(100e6)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(n_rings=0)
+
+    def test_invalid_overhead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(ring_overhead=0.009)  # >= TTRT
+
+
+class TestAnalysisConfig:
+    def test_defaults(self):
+        cfg = AnalysisConfig()
+        assert cfg.envelope_horizon > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AnalysisConfig(envelope_horizon=0.0)
+        with pytest.raises(ConfigurationError):
+            AnalysisConfig(max_envelope_segments=2)
+        with pytest.raises(ConfigurationError):
+            AnalysisConfig(output_delay_quantum=-1.0)
+
+
+class TestCACConfig:
+    def test_beta_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CACConfig(beta=-0.1)
+        with pytest.raises(ConfigurationError):
+            CACConfig(beta=1.1)
+
+    def test_tolerance_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CACConfig(search_tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            CACConfig(delay_equality_rtol=0.0)
+
+
+class TestSimulationConfig:
+    def test_arrival_rate_formula(self):
+        # U = (lambda / (n mu)) rho / C  ->  lambda = U n mu C / rho.
+        sim = SimulationConfig()
+        net = NetworkConfig()
+        lam = sim.arrival_rate_for_utilization(0.5, net)
+        rho = sim.workload.mean_rate
+        mu = 1.0 / sim.mean_lifetime
+        assert lam == pytest.approx(0.5 * 3 * mu * net.atm_link_rate / rho)
+
+    def test_load_scale_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(load_scale=0.0)
+
+    def test_lifetime_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(mean_lifetime=-1.0)
+
+
+class TestBuildNetworkDefaults:
+    def test_default_is_validated(self):
+        topo = build_network()
+        topo.validate()  # must not raise
+
+    def test_two_ring_variant(self):
+        topo = build_network(NetworkConfig(n_rings=2, hosts_per_ring=3))
+        assert topo.backbone_path("s1", "s2") == ["s1", "s2"]

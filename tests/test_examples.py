@@ -1,0 +1,38 @@
+"""The examples must stay runnable — they are documentation that executes."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: Examples fast enough for the test suite (the remaining two run the same
+#: code paths at larger scale).
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "industrial_control.py",
+    "token_ring_extension.py",
+    "failover_drill.py",
+    "broadcast_studio.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "example produced no output"
+    assert "VIOLAT" not in proc.stdout  # no bound/deadline violations
+
+
+def test_all_examples_exist():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    expected = set(FAST_EXAMPLES) | {"video_conferencing.py", "capacity_planning.py"}
+    assert expected <= present

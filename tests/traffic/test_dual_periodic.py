@@ -1,0 +1,138 @@
+"""Tests for the dual-periodic traffic model (Eq. 37/38)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic import DualPeriodicTraffic
+
+
+def make(c1=3000.0, p1=0.03, c2=1000.0, p2=0.005, peak=math.inf):
+    return DualPeriodicTraffic(c1, p1, c2, p2, peak)
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        t = make()
+        assert t.c1 == 3000.0
+
+    def test_rejects_inner_period_larger_than_outer(self):
+        with pytest.raises(ConfigurationError):
+            make(p1=0.001, p2=0.01)
+
+    def test_rejects_inner_budget_larger_than_outer(self):
+        with pytest.raises(ConfigurationError):
+            make(c1=100.0, c2=200.0)
+
+    def test_rejects_slow_inner_rate(self):
+        # C2/P2 < C1/P1 would make C1 unreachable.
+        with pytest.raises(ConfigurationError):
+            make(c1=3000.0, p1=0.01, c2=100.0, p2=0.005)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            make(c1=-1.0)
+        with pytest.raises(ConfigurationError):
+            make(p1=0.0)
+
+
+class TestRates:
+    def test_long_term_rate_is_eq38(self):
+        t = make(c1=3000.0, p1=0.03)
+        assert t.long_term_rate == pytest.approx(100_000.0)
+
+    def test_gamma_tends_to_rho(self):
+        t = make()
+        big_i = 100.0
+        assert t.gamma(big_i) == pytest.approx(t.long_term_rate, rel=0.02)
+
+    def test_gamma_at_zero_is_peak(self):
+        t = make(peak=1e6)
+        assert t.gamma(0.0) == 1e6
+
+    def test_bursts_per_outer_period(self):
+        assert make(c1=3000.0, c2=1000.0).bursts_per_outer_period == 3
+        assert make(c1=2500.0, c2=1000.0).bursts_per_outer_period == 3
+
+
+class TestEnvelope:
+    def test_initial_burst(self):
+        t = make()
+        env = t.envelope(horizon=0.1)
+        assert env(0.0) == pytest.approx(1000.0)  # first C2 burst
+
+    def test_inner_staircase(self):
+        t = make()
+        env = t.envelope(horizon=0.1)
+        # Bursts at 0, P2, 2*P2 exhaust C1=3*C2; then flat until P1.
+        assert env(0.004) == pytest.approx(1000.0)
+        assert env(0.005) == pytest.approx(2000.0)
+        assert env(0.010) == pytest.approx(3000.0)
+        assert env(0.025) == pytest.approx(3000.0)  # budget exhausted
+        assert env(0.030) == pytest.approx(4000.0)  # next outer window
+
+    def test_partial_final_burst(self):
+        t = make(c1=2500.0, c2=1000.0)
+        env = t.envelope(horizon=0.1)
+        assert env(0.010) == pytest.approx(2500.0)  # capped at C1
+
+    def test_envelope_matches_eq37_form(self):
+        t = make()
+        env = t.envelope(horizon=0.2)
+
+        def eq37(i):
+            k = math.floor(i / t.p1)
+            r = i - k * t.p1
+            inner = math.floor(r / t.p2) * t.c2 + t.c2  # staircase: +1 burst
+            return k * t.c1 + min(t.c1, inner)
+
+        for i in np.linspace(1e-6, 0.15, 200):
+            assert env(float(i)) == pytest.approx(eq37(i), rel=1e-9)
+
+    def test_tail_dominates(self):
+        t = make()
+        env = t.envelope(horizon=0.05)  # short horizon, long queries
+        for i in np.linspace(0.0, 2.0, 100):
+            k = math.floor(i / t.p1)
+            r = i - k * t.p1
+            true = k * t.c1 + min(t.c1, (math.floor(r / t.p2) + 1) * t.c2)
+            assert env(float(i)) >= true - 1e-6 * true
+
+    def test_finite_peak_ramps(self):
+        t = make(peak=1e6)  # 1000 bits at 1e6 b/s -> 1 ms ramps
+        env = t.envelope(horizon=0.05)
+        assert env(0.0) == pytest.approx(0.0)
+        assert env(0.0005) == pytest.approx(500.0)
+        assert env(0.001) == pytest.approx(1000.0)
+        assert env(0.003) == pytest.approx(1000.0)
+
+    def test_envelope_nondecreasing(self):
+        t = make()
+        env = t.envelope(horizon=0.5)
+        grid = np.linspace(0, 1.0, 400)
+        vals = env(grid)
+        assert all(vals[i + 1] >= vals[i] - 1e-9 for i in range(len(vals) - 1))
+
+
+class TestWorstCaseArrivals:
+    def test_trajectory_respects_envelope(self):
+        t = make()
+        env = t.envelope(horizon=0.3)
+        cumulative = 0.0
+        for when, bits in t.worst_case_arrivals(0.2):
+            cumulative += bits
+            assert cumulative <= env(when) + 1e-6
+
+    def test_trajectory_achieves_envelope_at_bursts(self):
+        t = make()
+        arrivals = list(t.worst_case_arrivals(0.05))
+        assert arrivals[0][0] == pytest.approx(0.0)
+        assert arrivals[0][1] == pytest.approx(1000.0)
+        total = sum(b for _, b in arrivals)
+        assert total >= 3000.0  # at least one full outer budget
+
+    def test_describe_mentions_params(self):
+        d = make().describe()
+        assert "DualPeriodic" in d and "3e+03" in d

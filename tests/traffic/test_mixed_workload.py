@@ -1,0 +1,82 @@
+"""Tests for the mixed-class workload generator."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.generators import MixedWorkloadGenerator, WorkloadSpec
+
+
+def video_spec():
+    return WorkloadSpec(
+        c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005,
+        deadline_min=0.04, deadline_max=0.10,
+    )
+
+
+def audio_spec():
+    return WorkloadSpec(
+        c1=6_000.0, p1=0.020, c2=3_000.0, p2=0.010,
+        deadline_min=0.03, deadline_max=0.06,
+    )
+
+
+def make(weights=(2.0, 1.0), seed=1):
+    classes = [
+        ("video", weights[0], video_spec()),
+        ("audio", weights[1], audio_spec()),
+    ]
+    return MixedWorkloadGenerator(classes, random.Random(seed))
+
+
+class TestMixture:
+    def test_mean_rate_is_weighted_average(self):
+        g = make()
+        expected = (2 / 3) * video_spec().mean_rate + (1 / 3) * audio_spec().mean_rate
+        assert g.mean_rate == pytest.approx(expected)
+
+    def test_class_frequencies_follow_weights(self):
+        g = make(weights=(3.0, 1.0), seed=7)
+        counts = {"video": 0, "audio": 0}
+        for _ in range(800):
+            counts[g.sample_with_class()[2]] += 1
+        ratio = counts["video"] / counts["audio"]
+        assert 2.2 < ratio < 4.2
+
+    def test_sample_returns_valid_traffic(self):
+        g = make()
+        traffic, deadline = g.sample()
+        assert traffic.long_term_rate > 0
+        assert deadline > 0
+
+    def test_deadlines_respect_class_ranges(self):
+        g = make(seed=3)
+        for _ in range(100):
+            traffic, deadline, name = g.sample_with_class()
+            if name == "video":
+                assert 0.04 <= deadline <= 0.10
+            else:
+                assert 0.03 <= deadline <= 0.06
+
+    def test_reproducible(self):
+        a, b = make(seed=5), make(seed=5)
+        for _ in range(20):
+            assert a.sample_with_class() == b.sample_with_class()
+
+    def test_zero_weight_class_never_drawn(self):
+        g = make(weights=(1.0, 0.0), seed=2)
+        for _ in range(100):
+            assert g.sample_with_class()[2] == "video"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MixedWorkloadGenerator([], random.Random(1))
+        with pytest.raises(ConfigurationError):
+            MixedWorkloadGenerator(
+                [("a", -1.0, video_spec())], random.Random(1)
+            )
+        with pytest.raises(ConfigurationError):
+            MixedWorkloadGenerator(
+                [("a", 0.0, video_spec())], random.Random(1)
+            )

@@ -1,0 +1,111 @@
+"""Tests for the MPEG GOP traffic model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.mpeg import MPEGTraffic
+
+#: A classic IBBPBBPBB... pattern (sizes in bits).
+GOP = [200_000.0, 40_000.0, 40_000.0, 100_000.0, 40_000.0, 40_000.0]
+FPS = 30.0
+
+
+def make():
+    return MPEGTraffic(GOP, FPS)
+
+
+class TestBasics:
+    def test_gop_facts(self):
+        t = make()
+        assert t.gop_period == pytest.approx(0.2)
+        assert t.gop_bits == pytest.approx(460_000.0)
+        assert t.long_term_rate == pytest.approx(2_300_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MPEGTraffic([], 30.0)
+        with pytest.raises(ConfigurationError):
+            MPEGTraffic([100.0, -5.0], 30.0)
+        with pytest.raises(ConfigurationError):
+            MPEGTraffic([100.0], 0.0)
+
+    def test_describe(self):
+        assert "MPEG" in make().describe()
+
+
+class TestEnvelope:
+    def test_single_frame_window_is_i_frame(self):
+        env = make().envelope(1.0)
+        assert env(0.0) == pytest.approx(200_000.0)
+
+    def test_two_frame_window_is_best_pair(self):
+        env = make().envelope(1.0)
+        # Best 2-run: I followed by B (wrapping B+I = 240k too): 240k.
+        assert env(1.0 / FPS) == pytest.approx(240_000.0)
+
+    def test_full_gop_window(self):
+        env = make().envelope(1.0)
+        # Window catching n frames: best n-run = whole GOP... plus wrap
+        # alignment can do no better than gop_bits.
+        n = len(GOP)
+        assert env((n - 1) / FPS) == pytest.approx(460_000.0)
+
+    def test_envelope_dominates_every_rotation(self):
+        t = make()
+        env = t.envelope(1.0)
+        n = len(GOP)
+        gap = 1.0 / FPS
+        for rotation in range(n):
+            cumulative = 0.0
+            for k in range(3 * n):
+                cumulative += GOP[(rotation + k) % n]
+                window = k * gap
+                assert env(window) >= cumulative - 1e-6
+
+    def test_long_term_rate_matches(self):
+        t = make()
+        env = t.envelope(2.0)
+        assert env.final_slope == pytest.approx(t.long_term_rate)
+
+    def test_envelope_nondecreasing(self):
+        env = make().envelope(1.0)
+        grid = np.linspace(0, 2.0, 300)
+        vals = env(grid)
+        assert all(vals[i + 1] >= vals[i] - 1e-6 for i in range(len(vals) - 1))
+
+    def test_cache_reused(self):
+        t = make()
+        assert t.envelope(0.5) is t.envelope(0.4)
+
+
+class TestTrajectory:
+    def test_worst_case_respects_envelope(self):
+        t = make()
+        env = t.envelope(1.0)
+        cumulative = 0.0
+        for when, bits in t.worst_case_arrivals(0.5):
+            cumulative += bits
+            assert cumulative <= env(when) + 1e-6
+
+    def test_first_burst_is_i_frame(self):
+        t = make()
+        first = next(iter(t.worst_case_arrivals(1.0)))
+        assert first == (0.0, 200_000.0)
+
+
+class TestThroughCAC:
+    def test_mpeg_stream_admitted(self):
+        from repro.config import build_network
+        from repro.core import AdmissionController
+        from repro.network.connection import ConnectionSpec
+
+        topo = build_network()
+        cac = AdmissionController(topo)
+        res = cac.request(
+            ConnectionSpec("tv", "host1-1", "host2-1", make(), 0.120)
+        )
+        assert res.admitted
+        assert math.isfinite(res.record.delay_bound)
