@@ -9,7 +9,8 @@ Commands
 ``buffers``
     Admit the demo connections and print the buffer-dimensioning report.
 ``experiments ...``
-    Alias pointing at :mod:`repro.experiments` (kept there for history).
+    Forwards to :mod:`repro.experiments` (``figure7``, ``figure8``,
+    ``validation``, ``ablation-*``, ``survivability``, ``all``).
 """
 
 from __future__ import annotations
@@ -91,6 +92,13 @@ def cmd_buffers(args) -> str:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["experiments"]:
+        # Forward verbatim (argparse's REMAINDER would swallow a leading
+        # "-h"/"--quick" and reject it at this level).
+        from repro.experiments.__main__ import main as experiments_main
+
+        return experiments_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="FDDI-ATM-FDDI real-time CAC — operator utilities.",
@@ -107,6 +115,12 @@ def main(argv=None) -> int:
 
     p_buf = sub.add_parser("buffers", help="buffer dimensioning for the demo")
     p_buf.set_defaults(func=cmd_buffers)
+
+    sub.add_parser(
+        "experiments",
+        help="run the paper's experiments (see repro.experiments)",
+        add_help=False,
+    )
 
     args = parser.parse_args(argv)
     print(args.func(args))

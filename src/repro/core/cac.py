@@ -202,9 +202,16 @@ class AdmissionController:
             h_dest=h_r,
             delay_bound=reports[spec.conn_id].total_delay,
         )
+        # Transactional two-ring allocation: if the destination ring's
+        # ledger rejects the grant, the source ring's half is rolled back
+        # so a failed admission can never leak synchronous bandwidth.
         ring_s.allocate(spec.conn_id, h_s)
         if not local:
-            ring_r.allocate(spec.conn_id, h_r)
+            try:
+                ring_r.allocate(spec.conn_id, h_r)
+            except Exception:
+                ring_s.release(spec.conn_id)
+                raise
         self.connections[spec.conn_id] = record
         # Refresh every existing record's bound under the new load.
         for conn_id, report in reports.items():
@@ -229,6 +236,24 @@ class AdmissionController:
         if record.route.crosses_backbone:
             self.topology.rings[record.route.dest_ring].release(conn_id)
         return record
+
+    def audit_allocations(self) -> Dict[str, float]:
+        """Per-ring discrepancy: ledger total minus recorded allocations.
+
+        Every value must be ~0; a positive entry means the ring holds
+        synchronous time that no live connection accounts for (a leak), a
+        negative one that a record claims more than the ledger granted.
+        Used by the survivability audit after fault-injection runs.
+        """
+        expected: Dict[str, float] = {rid: 0.0 for rid in self.topology.rings}
+        for rec in self.connections.values():
+            expected[rec.route.source_ring] += rec.h_source
+            if rec.route.crosses_backbone:
+                expected[rec.route.dest_ring] += rec.h_dest
+        return {
+            rid: ring.allocated_sync_time - expected[rid]
+            for rid, ring in self.topology.rings.items()
+        }
 
     @property
     def admission_probability(self) -> float:

@@ -2,8 +2,9 @@
 
 Reference [4] of the paper (Chen, Kamat, Zhao) studies fault-tolerant
 real-time communication in FDDI networks; in the FDDI-ATM-FDDI setting the
-natural fault is a backbone link.  When one fails, every connection routed
-over it loses its path; the recovery procedure is:
+natural faults are a backbone link, an ATM switch, or an interface device.
+When one fails, every connection routed over it loses its path; the
+recovery procedure is:
 
 1. release the failed connections' resources (their synchronous bandwidth
    stays valid, but the delay contract is void without a path);
@@ -13,27 +14,37 @@ over it loses its path; the recovery procedure is:
    that kept their paths.
 
 Some displaced connections may not be re-admittable (the alternate path is
-longer and shared with more traffic); the report says which survived.
+longer and shared with more traffic, or no route exists at all); the report
+says which survived.  The teardown / re-admission halves are also exposed
+separately (:meth:`FailoverManager.teardown`, :meth:`FailoverManager.readmit`,
+and the ``displace_*`` variants) so the event-driven fault injector in
+:mod:`repro.faults` can defer re-admission to a retry queue instead of
+attempting it synchronously.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.cac import AdmissionController, AdmissionResult
-from repro.errors import TopologyError
+from repro.errors import ReproError
 from repro.network.connection import ConnectionRecord, ConnectionSpec
 
 
 @dataclasses.dataclass(frozen=True)
 class FailoverReport:
-    """Outcome of one link-failure recovery pass."""
+    """Outcome of one failure-recovery pass (link or node)."""
 
-    failed_link: Tuple[str, str]
+    #: Human-readable description, e.g. ``"link s1<->s2"`` or ``"node id1"``.
+    failed_element: str
     unaffected: List[str]
     rerouted: List[str]
     dropped: Dict[str, str]  # conn_id -> rejection reason
+    #: Set for link failures only.
+    failed_link: Optional[Tuple[str, str]] = None
+    #: Set for node failures only.
+    failed_node: Optional[str] = None
 
     @property
     def survival_rate(self) -> float:
@@ -42,7 +53,7 @@ class FailoverReport:
 
     def format(self) -> str:
         lines = [
-            f"Failover report for link {self.failed_link[0]}<->{self.failed_link[1]}:",
+            f"Failover report for {self.failed_element}:",
             f"  unaffected: {len(self.unaffected)}",
             f"  rerouted:   {len(self.rerouted)} {self.rerouted}",
             f"  dropped:    {len(self.dropped)}",
@@ -53,13 +64,18 @@ class FailoverReport:
 
 
 class FailoverManager:
-    """Coordinates link failures and connection re-establishment."""
+    """Coordinates link/node failures and connection re-establishment."""
 
     def __init__(self, cac: AdmissionController):
         self.cac = cac
         self.topology = cac.topology
 
-    def _affected_connections(self, a: str, b: str) -> List[ConnectionRecord]:
+    # ------------------------------------------------------------------
+    # Affected-connection queries
+    # ------------------------------------------------------------------
+
+    def affected_by_link(self, a: str, b: str) -> List[ConnectionRecord]:
+        """Connections whose backbone path traverses ``a <-> b``."""
         affected = []
         for rec in self.cac.connections.values():
             path = rec.route.switch_path
@@ -69,46 +85,122 @@ class FailoverManager:
                     break
         return affected
 
-    def fail_link(self, a: str, b: str) -> FailoverReport:
-        """Fail ``a <-> b`` and try to re-admit every displaced connection.
+    def affected_by_node(self, node_id: str) -> List[ConnectionRecord]:
+        """Connections routed through switch or device ``node_id``."""
+        affected = []
+        for rec in self.cac.connections.values():
+            route = rec.route
+            if node_id in route.switch_path or node_id in (
+                route.source_device,
+                route.dest_device,
+            ):
+                affected.append(rec)
+        return affected
 
-        Displaced connections are re-requested in ascending deadline order
-        (tightest contracts first — they have the least routing slack).
-        """
-        affected = self._affected_connections(a, b)
-        self.topology.fail_link(a, b)
+    # ------------------------------------------------------------------
+    # Teardown / re-admission halves
+    # ------------------------------------------------------------------
 
-        # Tear down the displaced connections first so their bandwidth is
-        # available to the re-admission passes.
+    def teardown(
+        self, records: Iterable[ConnectionRecord]
+    ) -> List[ConnectionSpec]:
+        """Release every record's resources; return the displaced specs
+        in ascending deadline order (tightest contracts first — they have
+        the least routing slack)."""
         specs: List[ConnectionSpec] = []
-        for rec in affected:
+        for rec in records:
             self.cac.release(rec.conn_id)
             specs.append(rec.spec)
-        specs.sort(key=lambda s: s.deadline)
+        specs.sort(key=lambda s: (s.deadline, s.conn_id))
+        return specs
 
+    def readmit(
+        self, specs: Iterable[ConnectionSpec]
+    ) -> Tuple[List[str], Dict[str, str]]:
+        """Re-run the full CAC for each displaced spec, in the given order.
+
+        Exception-safe: a re-admission attempt that raises (no route, an
+        unstable analysis, a buffer overflow, ...) records the connection
+        as dropped and the pass continues, so the returned report always
+        reflects the controller's actual final state — already-released
+        resources are never left half-rolled-back.
+        """
         rerouted: List[str] = []
         dropped: Dict[str, str] = {}
         for spec in specs:
             try:
                 result: AdmissionResult = self.cac.request(spec)
-            except TopologyError as exc:
-                dropped[spec.conn_id] = f"no route: {exc}"
+            except ReproError as exc:
+                dropped[spec.conn_id] = f"{type(exc).__name__}: {exc}"
                 continue
             if result.admitted:
                 rerouted.append(spec.conn_id)
             else:
                 dropped[spec.conn_id] = result.reason
+        return rerouted, dropped
+
+    # ------------------------------------------------------------------
+    # Synchronous recovery (fail + immediate re-admission pass)
+    # ------------------------------------------------------------------
+
+    def fail_link(self, a: str, b: str) -> FailoverReport:
+        """Fail ``a <-> b`` and try to re-admit every displaced connection."""
+        specs = self.displace_link(a, b)
+        return self._recover(specs, f"link {a}<->{b}", failed_link=(a, b))
+
+    def fail_node(self, node_id: str) -> FailoverReport:
+        """Fail a switch or device and try to re-admit the displaced."""
+        specs = self.displace_node(node_id)
+        return self._recover(specs, f"node {node_id}", failed_node=node_id)
+
+    def _recover(
+        self,
+        specs: List[ConnectionSpec],
+        element: str,
+        failed_link: Optional[Tuple[str, str]] = None,
+        failed_node: Optional[str] = None,
+    ) -> FailoverReport:
+        rerouted, dropped = self.readmit(specs)
         unaffected = [
             cid for cid in self.cac.connections if cid not in rerouted
         ]
         return FailoverReport(
-            failed_link=(a, b),
+            failed_element=element,
             unaffected=sorted(unaffected),
             rerouted=rerouted,
             dropped=dropped,
+            failed_link=failed_link,
+            failed_node=failed_node,
         )
+
+    # ------------------------------------------------------------------
+    # Deferred recovery (teardown only; a retry queue re-admits later)
+    # ------------------------------------------------------------------
+
+    def displace_link(self, a: str, b: str) -> List[ConnectionSpec]:
+        """Fail the link and tear down the displaced connections *without*
+        re-admitting them (deadline-sorted specs are returned for a retry
+        queue)."""
+        affected = self.affected_by_link(a, b)
+        self.topology.fail_link(a, b)
+        return self.teardown(affected)
+
+    def displace_node(self, node_id: str) -> List[ConnectionSpec]:
+        """Fail the node and tear down the displaced connections *without*
+        re-admitting them."""
+        affected = self.affected_by_node(node_id)
+        self.topology.fail_node(node_id)
+        return self.teardown(affected)
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
 
     def restore_link(self, a: str, b: str) -> None:
         """Repair the link.  Existing connections keep their detour routes
         (re-optimization is a policy decision left to the operator)."""
         self.topology.restore_link(a, b)
+
+    def restore_node(self, node_id: str) -> None:
+        """Repair a failed switch or device."""
+        self.topology.restore_node(node_id)

@@ -6,7 +6,7 @@ import argparse
 import sys
 import time
 
-from repro.experiments import figure7, figure8, validation, ablations
+from repro.experiments import ablations, figure7, figure8, survivability, validation
 from repro.experiments.common import ExperimentSettings
 
 
@@ -39,6 +39,7 @@ def main(argv=None) -> int:
             "validation",
             "ablation-policies",
             "ablation-workload",
+            "survivability",
             "all",
         ],
     )
@@ -65,6 +66,7 @@ def main(argv=None) -> int:
         "validation": lambda: validation.main(),
         "ablation-policies": lambda: ablations.main_policies(settings),
         "ablation-workload": lambda: ablations.main_workload(settings),
+        "survivability": lambda: survivability.main(settings, csv_dir=args.csv),
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -1,0 +1,135 @@
+"""Survivability experiment: admission and recovery under stochastic faults.
+
+The paper's evaluation (Figures 7/8) measures admission probability on a
+healthy network; its reference [4] (Chen-Kamat-Zhao, RTSS'95) asks the
+operational follow-up: what survives when the backbone misbehaves?  This
+experiment sweeps the backbone utilization ``U`` at a *fixed* fault regime
+(exponential link MTBF/MTTR) and reports, per load level:
+
+* AP without faults (the paper's baseline);
+* AP with faults injected (fresh requests arriving on a degraded topology);
+* the connection survival rate (displaced connections that the
+  retry-with-backoff machinery re-admitted before abandoning/expiring);
+* mean time-to-recover and mean retries per successful reconnection.
+
+Every run ends with the no-leak / no-violation audit; a FAIL anywhere is
+surfaced in the report (and would be a bug in the CAC's transactional
+release/re-admit path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    SeriesResult,
+    format_table,
+    mean_and_spread,
+)
+from repro.faults.injector import FaultConfig
+from repro.faults.retry import RetryPolicy
+from repro.sim.connection_sim import ConnectionSimConfig, ConnectionSimulator
+
+#: Load sweep (same axis as Figure 8).
+UTILIZATIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+#: The paper's recommended interior allocation point.
+BETA = 0.5
+#: Fixed fault regime: each backbone link fails about every 2000 s and
+#: stays down about 120 s (both exponential) — several outages per run at
+#: the simulated holding times (1/mu = 600 s).
+DEFAULT_FAULTS = FaultConfig(link_mtbf=2000.0, link_mttr=120.0)
+#: Backoff: 5 s, 10 s, 20 s, 40 s, 60 s, ... capped, up to 8 attempts.
+DEFAULT_RETRY = RetryPolicy(
+    base_delay=5.0, factor=2.0, max_delay=60.0, max_attempts=8, jitter=0.1
+)
+
+
+def run_survivability(
+    settings: Optional[ExperimentSettings] = None,
+    utilizations: Sequence[float] = UTILIZATIONS,
+    faults: FaultConfig = DEFAULT_FAULTS,
+    retry: RetryPolicy = DEFAULT_RETRY,
+) -> Tuple[List[SeriesResult], List[str]]:
+    """Run the sweep; returns (series, audit failure descriptions)."""
+    settings = settings or ExperimentSettings()
+    sim_cfg = settings.simulation_config()
+    ap_clean = SeriesResult(label="AP no-faults")
+    ap_faults = SeriesResult(label="AP faults")
+    survival = SeriesResult(label="survival")
+    ttr = SeriesResult(label="mean TTR (s)")
+    retries = SeriesResult(label="retries/reconnect")
+    audit_failures: List[str] = []
+    for u in utilizations:
+        aps_clean, aps_faulty, survs, ttrs, rtr = [], [], [], [], []
+        for seed in settings.seeds:
+            base = dict(
+                utilization=u,
+                beta=BETA,
+                seed=seed,
+                n_requests=settings.n_requests,
+                warmup_requests=settings.warmup_requests,
+                network=settings.network,
+                simulation=sim_cfg,
+            )
+            clean = ConnectionSimulator(ConnectionSimConfig(**base)).run()
+            aps_clean.append(clean.admission_probability)
+            faulty = ConnectionSimulator(
+                ConnectionSimConfig(**base, faults=faults, retry=retry)
+            ).run()
+            aps_faulty.append(faulty.admission_probability)
+            sv = faulty.survivability
+            if sv.n_resolved:
+                survs.append(sv.survival_rate)
+            if sv.time_to_recover.n:
+                ttrs.append(sv.time_to_recover.mean)
+                rtr.append(sv.retries_per_reconnect.mean)
+            if not faulty.audit.ok:
+                audit_failures.append(
+                    f"U={u:g} seed={seed}: {faulty.audit.format()}"
+                )
+        ap_clean.add(u, *mean_and_spread(aps_clean))
+        ap_faults.add(u, *mean_and_spread(aps_faulty))
+        if survs:
+            survival.add(u, *mean_and_spread(survs))
+        if ttrs:
+            ttr.add(u, *mean_and_spread(ttrs))
+            retries.add(u, *mean_and_spread(rtr))
+    return [ap_clean, ap_faults, survival, ttr, retries], audit_failures
+
+
+def main(
+    settings: Optional[ExperimentSettings] = None,
+    csv_dir: Optional[str] = None,
+    utilizations: Sequence[float] = UTILIZATIONS,
+) -> str:
+    series, audit_failures = run_survivability(settings, utilizations)
+    ap_series, aux_series = series[:3], series[3:]
+    out = [
+        "Survivability — admission and recovery under link faults "
+        f"(MTBF={DEFAULT_FAULTS.link_mtbf:g}s, MTTR={DEFAULT_FAULTS.link_mttr:g}s, "
+        f"beta={BETA:g})",
+        "",
+        format_table("U", ap_series),
+        "",
+        format_table("U", aux_series),
+    ]
+    if csv_dir:
+        import os
+
+        from repro.experiments.artifacts import write_series_csv
+
+        path = write_series_csv(
+            os.path.join(csv_dir, "survivability.csv"), "U", series
+        )
+        out.append(f"\n[series written to {path}]")
+    out.append("")
+    if audit_failures:
+        out.append("AUDIT FAILURES (leaked bandwidth or broken contracts):")
+        out.extend(f"  {line}" for line in audit_failures)
+    else:
+        out.append(
+            "Audit: every run ended with zero leaked synchronous bandwidth "
+            "and zero deadline violations among surviving connections."
+        )
+    return "\n".join(out)

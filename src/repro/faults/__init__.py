@@ -1,0 +1,36 @@
+"""Fault injection and survivability for the event-driven simulation.
+
+* :mod:`repro.faults.injector` — stochastic (MTBF/MTTR renewal processes)
+  or scripted link/node failures scheduled on the
+  :class:`~repro.sim.engine.Simulator` event loop.
+* :mod:`repro.faults.retry` — retry-with-backoff re-admission of displaced
+  connections (exponential backoff, jitter, max-attempt cap).
+* :mod:`repro.faults.audit` — end-of-run invariant checks: zero leaked
+  synchronous bandwidth, zero deadline-contract violations.
+
+The package sits beside :mod:`repro.sim`: it drives the
+:class:`~repro.core.failover.FailoverManager` from timed events, while the
+surrounding harness (``ConnectionSimulator`` or a hand-built drill) owns
+workload generation and host bookkeeping.
+"""
+
+from repro.faults.audit import SurvivabilityAudit, audit_controller
+from repro.faults.injector import (
+    FaultConfig,
+    FaultInjector,
+    FaultScript,
+    ScriptedFault,
+)
+from repro.faults.retry import RetryEntry, RetryOrchestrator, RetryPolicy
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultScript",
+    "RetryEntry",
+    "RetryOrchestrator",
+    "RetryPolicy",
+    "ScriptedFault",
+    "SurvivabilityAudit",
+    "audit_controller",
+]

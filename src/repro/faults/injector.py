@@ -1,0 +1,258 @@
+"""Stochastic link/node fault injection on the discrete-event loop.
+
+Each fault target — an undirected backbone link, an ATM switch, or an
+interface device — runs its own alternating renewal process: up for a
+time-to-failure drawn from its MTBF distribution, down for a time-to-repair
+drawn from its MTTR distribution, forever.  Every draw comes from a
+dedicated per-target :class:`~repro.sim.random.RandomStreams` substream
+(``faults:link:s1~s2``, ``faults:node:id1``, ...), so enabling faults —
+or changing how often they fire — never perturbs the workload streams of
+the surrounding simulation.
+
+On failure the injector displaces the affected connections through the
+:class:`~repro.core.failover.FailoverManager` (teardown only — synchronous
+bandwidth is released; re-admission is the retry queue's job) and reports
+them to ``on_displaced``; on repair it restores the element and fires
+``on_repaired`` so the retry machinery can re-attempt immediately.
+
+Deterministic :class:`FaultScript` schedules replace the stochastic
+processes in tests and reproducible drills.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.failover import FailoverManager
+from repro.errors import ConfigurationError
+from repro.network.connection import ConnectionSpec
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+#: A link target is an undirected switch pair; a node target is an id.
+LinkTarget = Tuple[str, str]
+NodeTarget = str
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultConfig:
+    """Stochastic fault process parameters (exponential by default).
+
+    An MTBF of 0 disables that fault class entirely.
+    """
+
+    #: Mean time between failures of each backbone link, seconds.
+    link_mtbf: float = 0.0
+    #: Mean time to repair a failed link, seconds.
+    link_mttr: float = 30.0
+    #: Mean time between failures of each ATM switch, seconds (0 = off).
+    switch_mtbf: float = 0.0
+    switch_mttr: float = 60.0
+    #: Mean time between failures of each interface device, seconds (0 = off).
+    device_mtbf: float = 0.0
+    device_mttr: float = 60.0
+    #: ``"exponential"`` or ``"deterministic"`` (fixed inter-event times —
+    #: handy for reproducible drills without writing a full script).
+    distribution: str = "exponential"
+
+    def __post_init__(self):
+        for name in ("link_mtbf", "switch_mtbf", "device_mtbf"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        for name in ("link_mttr", "switch_mttr", "device_mttr"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.distribution not in ("exponential", "deterministic"):
+            raise ConfigurationError(
+                f"unknown fault distribution {self.distribution!r}"
+            )
+
+    @property
+    def any_enabled(self) -> bool:
+        return bool(self.link_mtbf or self.switch_mtbf or self.device_mtbf)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScriptedFault:
+    """One scripted event: fail or repair a link/node at an absolute time."""
+
+    time: float
+    #: ``"fail"`` or ``"repair"``.
+    action: str
+    #: ``("s1", "s2")`` for a link, ``"s1"`` / ``"id1"`` for a node.
+    target: Union[LinkTarget, NodeTarget]
+
+    def __post_init__(self):
+        if self.action not in ("fail", "repair"):
+            raise ConfigurationError(f"unknown fault action {self.action!r}")
+        if self.time < 0:
+            raise ConfigurationError("scripted fault times must be >= 0")
+
+    @property
+    def is_link(self) -> bool:
+        return isinstance(self.target, tuple)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultScript:
+    """A deterministic fault schedule (tests, drills, regression runs)."""
+
+    events: Tuple[ScriptedFault, ...]
+
+    def __init__(self, events: Sequence[ScriptedFault]):
+        object.__setattr__(
+            self, "events", tuple(sorted(events, key=lambda e: e.time))
+        )
+
+
+class FaultInjector:
+    """Schedules failures/repairs on the event loop and displaces
+    connections through a :class:`FailoverManager`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        manager: FailoverManager,
+        streams: Optional[RandomStreams] = None,
+        config: Optional[FaultConfig] = None,
+        script: Optional[FaultScript] = None,
+        on_displaced: Optional[Callable] = None,
+        on_repaired: Optional[Callable] = None,
+    ):
+        """``on_displaced(kind, target, specs)`` fires after every failure
+        event with the deadline-sorted displaced specs (possibly empty);
+        ``on_repaired(kind, target)`` after every repair.  ``kind`` is
+        ``"link"`` or ``"node"``."""
+        if config is None and script is None:
+            raise ConfigurationError(
+                "need a FaultConfig, a FaultScript, or both"
+            )
+        if config is not None and config.any_enabled and streams is None:
+            raise ConfigurationError(
+                "stochastic fault injection needs a RandomStreams"
+            )
+        self.sim = sim
+        self.manager = manager
+        self.topology = manager.topology
+        self.streams = streams
+        self.config = config
+        self.script = script
+        self.on_displaced = on_displaced
+        self.on_repaired = on_repaired
+        self.n_failures = 0
+        self.n_repairs = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Target enumeration
+    # ------------------------------------------------------------------
+
+    def link_targets(self) -> List[LinkTarget]:
+        """Undirected backbone links, sorted for determinism."""
+        pairs = {
+            tuple(sorted(pair)) for pair in self.topology._switch_links
+        }
+        return sorted(pairs)
+
+    def switch_targets(self) -> List[NodeTarget]:
+        return sorted(self.topology.switches)
+
+    def device_targets(self) -> List[NodeTarget]:
+        return sorted(self.topology.devices)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the schedule: scripted events verbatim, plus one renewal
+        process per enabled stochastic target."""
+        if self._started:
+            raise ConfigurationError("fault injector already started")
+        self._started = True
+        if self.script is not None:
+            for ev in self.script.events:
+                self.sim.schedule_at(
+                    ev.time, lambda e=ev: self._run_scripted(e)
+                )
+        if self.config is not None:
+            if self.config.link_mtbf:
+                for pair in self.link_targets():
+                    self._arm_failure(
+                        "link", pair, self.config.link_mtbf
+                    )
+            if self.config.switch_mtbf:
+                for sw in self.switch_targets():
+                    self._arm_failure("node", sw, self.config.switch_mtbf)
+            if self.config.device_mtbf:
+                for dev in self.device_targets():
+                    self._arm_failure("node", dev, self.config.device_mtbf)
+
+    def _stream_name(self, kind: str, target) -> str:
+        ident = "~".join(target) if isinstance(target, tuple) else target
+        return f"faults:{kind}:{ident}"
+
+    def _draw(self, kind: str, target, mean: float) -> float:
+        if self.config.distribution == "deterministic":
+            return mean
+        return self.streams.exponential(self._stream_name(kind, target), mean)
+
+    def _mttr_of(self, kind: str, target) -> float:
+        if kind == "link":
+            return self.config.link_mttr
+        if target in self.topology.switches:
+            return self.config.switch_mttr
+        return self.config.device_mttr
+
+    def _arm_failure(self, kind: str, target, mtbf: float) -> None:
+        delay = self._draw(kind, target, mtbf)
+        self.sim.schedule(delay, lambda: self._stochastic_fail(kind, target))
+
+    def _stochastic_fail(self, kind: str, target) -> None:
+        self._fail(kind, target)
+        mttr = self._mttr_of(kind, target)
+        repair_delay = self._draw(kind, target, mttr)
+        self.sim.schedule(
+            repair_delay, lambda: self._stochastic_repair(kind, target)
+        )
+
+    def _stochastic_repair(self, kind: str, target) -> None:
+        self._repair(kind, target)
+        mtbf = (
+            self.config.link_mtbf
+            if kind == "link"
+            else self.config.switch_mtbf
+            if target in self.topology.switches
+            else self.config.device_mtbf
+        )
+        self._arm_failure(kind, target, mtbf)
+
+    def _run_scripted(self, ev: ScriptedFault) -> None:
+        kind = "link" if ev.is_link else "node"
+        if ev.action == "fail":
+            self._fail(kind, ev.target)
+        else:
+            self._repair(kind, ev.target)
+
+    # ------------------------------------------------------------------
+    # Failure / repair execution
+    # ------------------------------------------------------------------
+
+    def _fail(self, kind: str, target) -> None:
+        if kind == "link":
+            specs: List[ConnectionSpec] = self.manager.displace_link(*target)
+        else:
+            specs = self.manager.displace_node(target)
+        self.n_failures += 1
+        if self.on_displaced:
+            self.on_displaced(kind, target, specs)
+
+    def _repair(self, kind: str, target) -> None:
+        if kind == "link":
+            self.manager.restore_link(*target)
+        else:
+            self.manager.restore_node(target)
+        self.n_repairs += 1
+        if self.on_repaired:
+            self.on_repaired(kind, target)

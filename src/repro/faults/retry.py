@@ -1,0 +1,220 @@
+"""Retry-with-backoff re-admission of displaced connections.
+
+When a failure tears a connection down mid-simulation, it does not vanish:
+the application re-attempts establishment.  Each displaced connection gets
+a :class:`RetryEntry` with an exponential-backoff schedule (base delay,
+multiplicative factor, cap) plus multiplicative jitter drawn from a
+dedicated random stream, and a maximum attempt budget.  Re-admission runs
+the *full CAC* on whatever topology is currently alive; when the CAC (or
+routing) says no, the entry backs off and waits.
+
+The :class:`RetryOrchestrator` owns the scheduling on a
+:class:`~repro.sim.engine.Simulator`: one timed event per pending entry,
+plus :meth:`RetryOrchestrator.kick_all` — fired by the injector on every
+repair — which cancels the pending backoff timers and re-attempts the
+whole queue immediately, tightest deadlines first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.cac import AdmissionController
+from repro.errors import ConfigurationError, ReproError
+from repro.network.connection import ConnectionSpec
+from repro.sim.engine import Event, Simulator
+from repro.sim.metrics import SurvivabilityMetrics
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and a max-attempt cap."""
+
+    #: Delay before the first re-admission attempt, seconds.
+    base_delay: float = 5.0
+    #: Multiplicative growth per failed attempt.
+    factor: float = 2.0
+    #: Upper bound on any single backoff delay, seconds (pre-jitter).
+    max_delay: float = 60.0
+    #: Give up after this many failed attempts.
+    max_attempts: int = 8
+    #: Jitter fraction: the delay is scaled by ``1 + jitter * u`` with
+    #: ``u ~ U[0, 1)`` so synchronized retries de-correlate.
+    jitter: float = 0.1
+
+    def __post_init__(self):
+        if self.base_delay <= 0 or self.max_delay <= 0:
+            raise ConfigurationError("backoff delays must be positive")
+        if self.factor < 1.0:
+            raise ConfigurationError("backoff factor must be >= 1")
+        if self.max_attempts < 1:
+            raise ConfigurationError("need at least one retry attempt")
+        if self.jitter < 0:
+            raise ConfigurationError("jitter must be non-negative")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError("attempt numbers are 1-based")
+        raw = min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+        if self.jitter and rng is not None:
+            raw *= 1.0 + self.jitter * rng.random()
+        return raw
+
+
+@dataclasses.dataclass
+class RetryEntry:
+    """One displaced connection waiting for re-admission."""
+
+    spec: ConnectionSpec
+    displaced_at: float
+    #: Absolute sim time at which the connection's lifetime ends (None =
+    #: permanent).  An entry whose lifetime elapses while queued expires.
+    expires_at: Optional[float] = None
+    #: Failed attempts so far.
+    attempts: int = 0
+    next_attempt: float = 0.0
+    last_reason: str = ""
+
+    @property
+    def conn_id(self) -> str:
+        return self.spec.conn_id
+
+
+class RetryOrchestrator:
+    """Drives backoff re-admission of displaced connections on a Simulator.
+
+    Callbacks (all optional) let the embedding harness do its own
+    bookkeeping; each receives the :class:`RetryEntry`:
+
+    * ``on_reconnected(entry, result)`` — the CAC re-admitted the spec;
+    * ``on_abandoned(entry)`` — the attempt budget ran out;
+    * ``on_expired(entry)`` — the lifetime elapsed while disconnected.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cac: AdmissionController,
+        policy: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+        metrics: Optional[SurvivabilityMetrics] = None,
+        on_reconnected: Optional[Callable] = None,
+        on_abandoned: Optional[Callable] = None,
+        on_expired: Optional[Callable] = None,
+    ):
+        self.sim = sim
+        self.cac = cac
+        self.policy = policy or RetryPolicy()
+        self.rng = rng
+        self.metrics = metrics if metrics is not None else SurvivabilityMetrics()
+        self.on_reconnected = on_reconnected
+        self.on_abandoned = on_abandoned
+        self.on_expired = on_expired
+        self._entries: Dict[str, RetryEntry] = {}
+        self._timers: Dict[str, Event] = {}
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def pending(self) -> List[RetryEntry]:
+        """Queued entries, tightest deadline first."""
+        return sorted(
+            self._entries.values(),
+            key=lambda e: (e.spec.deadline, e.conn_id),
+        )
+
+    def enqueue(
+        self, spec: ConnectionSpec, expires_at: Optional[float] = None
+    ) -> RetryEntry:
+        """Queue a displaced connection; its first attempt is scheduled
+        one backoff delay from now."""
+        if spec.conn_id in self._entries:
+            raise ConfigurationError(
+                f"connection {spec.conn_id!r} is already queued for retry"
+            )
+        entry = RetryEntry(
+            spec=spec, displaced_at=self.sim.now, expires_at=expires_at
+        )
+        entry.next_attempt = self.sim.now + self.policy.delay(1, self.rng)
+        self._entries[spec.conn_id] = entry
+        self.metrics.n_displaced += 1
+        self._arm(entry)
+        return entry
+
+    def kick_all(self) -> None:
+        """Re-attempt every queued entry *now*, tightest deadlines first
+        (fired on repair: the topology just got better)."""
+        for entry in self.pending:
+            if entry.conn_id in self._entries:  # may resolve mid-pass
+                self._attempt(entry)
+
+    # ------------------------------------------------------------------
+
+    def _arm(self, entry: RetryEntry) -> None:
+        self._timers[entry.conn_id] = self.sim.schedule_at(
+            entry.next_attempt,
+            lambda cid=entry.conn_id: self._on_timer(cid),
+        )
+
+    def _disarm(self, conn_id: str) -> None:
+        timer = self._timers.pop(conn_id, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _on_timer(self, conn_id: str) -> None:
+        self._timers.pop(conn_id, None)
+        entry = self._entries.get(conn_id)
+        if entry is not None:
+            self._attempt(entry)
+
+    def _resolve(self, entry: RetryEntry) -> None:
+        del self._entries[entry.conn_id]
+        self._disarm(entry.conn_id)
+
+    def _attempt(self, entry: RetryEntry) -> None:
+        now = self.sim.now
+        if entry.expires_at is not None and now >= entry.expires_at - 1e-12:
+            self._resolve(entry)
+            self.metrics.n_expired += 1
+            if self.on_expired:
+                self.on_expired(entry)
+            return
+
+        self.metrics.n_retry_attempts += 1
+        entry.attempts += 1
+        try:
+            result = self.cac.request(entry.spec)
+            admitted, reason = result.admitted, result.reason
+        except ReproError as exc:
+            # No route / unstable analysis: a clean rejection, not a crash.
+            result, admitted = None, False
+            reason = f"{type(exc).__name__}: {exc}"
+
+        if admitted:
+            self._resolve(entry)
+            self.metrics.n_reconnected += 1
+            self.metrics.time_to_recover.add(now - entry.displaced_at)
+            self.metrics.retries_per_reconnect.add(float(entry.attempts))
+            if self.on_reconnected:
+                self.on_reconnected(entry, result)
+            return
+
+        entry.last_reason = reason
+        if entry.attempts >= self.policy.max_attempts:
+            self._resolve(entry)
+            self.metrics.n_abandoned += 1
+            if self.on_abandoned:
+                self.on_abandoned(entry)
+            return
+
+        # Back off: the timer for the next attempt replaces any armed one
+        # (kick_all attempts bypass the timer, so re-arm unconditionally).
+        self._disarm(entry.conn_id)
+        entry.next_attempt = now + self.policy.delay(entry.attempts + 1, self.rng)
+        self._arm(entry)

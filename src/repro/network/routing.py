@@ -78,6 +78,11 @@ def compute_route(
 
     src_device = topology.device_of_ring(src.ring_id)
     dst_device = topology.device_of_ring(dst.ring_id)
+    for device in (src_device, dst_device):
+        if topology.is_node_failed(device.device_id):
+            raise RoutingError(
+                f"interface device {device.device_id!r} is down"
+            )
     src_switch = topology.device_switch[src_device.device_id]
     dst_switch = topology.device_switch[dst_device.device_id]
     path = topology.backbone_path(src_switch, dst_switch)

@@ -53,6 +53,8 @@ class NetworkTopology:
         self._backbone = nx.DiGraph()
         #: Directed backbone links currently failed (routing avoids them).
         self._failed_links: set = set()
+        #: Switches / interface devices currently down (routing avoids them).
+        self._failed_nodes: set = set()
 
     # ------------------------------------------------------------------
     # Construction
@@ -181,6 +183,9 @@ class NetworkTopology:
     def fail_link(self, a: str, b: str, bidirectional: bool = True) -> None:
         """Mark the backbone link ``a -> b`` (and back) as failed.
 
+        Failing an unknown link raises :class:`TopologyError`; failing a
+        link that is already down is an idempotent no-op (a fault injector
+        may fire a link failure while the link's endpoint switch is down).
         Routing refuses to traverse failed links; already-established
         connections are the caller's problem (see
         :class:`repro.core.failover.FailoverManager`).
@@ -189,20 +194,33 @@ class NetworkTopology:
         for src, dst in pairs:
             if (src, dst) not in self._switch_links:
                 raise TopologyError(f"no backbone link {src}->{dst}")
+        for src, dst in pairs:
             if (src, dst) in self._failed_links:
-                raise TopologyError(f"link {src}->{dst} already failed")
+                continue
             self._failed_links.add((src, dst))
-            self._backbone.remove_edge(src, dst)
+            if self._backbone.has_edge(src, dst):
+                self._backbone.remove_edge(src, dst)
 
     def restore_link(self, a: str, b: str, bidirectional: bool = True) -> None:
-        """Bring a failed backbone link back into service."""
+        """Bring a failed backbone link back into service.
+
+        Restoring an unknown link raises :class:`TopologyError`; restoring
+        a link that is not failed is an idempotent no-op.  The routing edge
+        only reappears once both endpoint switches are up as well.
+        """
         pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
         for src, dst in pairs:
+            if (src, dst) not in self._switch_links:
+                raise TopologyError(f"no backbone link {src}->{dst}")
+        for src, dst in pairs:
             if (src, dst) not in self._failed_links:
-                raise TopologyError(f"link {src}->{dst} is not failed")
+                continue
             self._failed_links.discard((src, dst))
-            link = self._switch_links[(src, dst)]
-            self._backbone.add_edge(src, dst, weight=link.propagation_delay + 1.0)
+            if src not in self._failed_nodes and dst not in self._failed_nodes:
+                link = self._switch_links[(src, dst)]
+                self._backbone.add_edge(
+                    src, dst, weight=link.propagation_delay + 1.0
+                )
 
     def is_link_failed(self, a: str, b: str) -> bool:
         return (a, b) in self._failed_links
@@ -211,8 +229,60 @@ class NetworkTopology:
     def failed_links(self) -> List[Tuple[str, str]]:
         return sorted(self._failed_links)
 
+    def fail_node(self, node_id: str) -> None:
+        """Take a backbone switch or interface device out of service.
+
+        A failed switch removes every incident routing edge (its links stay
+        merely *unreachable*, not failed, and come back with the switch); a
+        failed device cuts its ring off from the backbone.  Failing an
+        unknown node raises :class:`TopologyError`; failing a node that is
+        already down is an idempotent no-op.
+        """
+        if node_id not in self.switches and node_id not in self.devices:
+            raise TopologyError(f"unknown node {node_id!r}")
+        if node_id in self._failed_nodes:
+            return
+        self._failed_nodes.add(node_id)
+        if node_id in self.switches:
+            for src, dst in self._switch_links:
+                if node_id in (src, dst) and self._backbone.has_edge(src, dst):
+                    self._backbone.remove_edge(src, dst)
+
+    def restore_node(self, node_id: str) -> None:
+        """Bring a failed switch or device back into service (idempotent).
+
+        Incident routing edges reappear unless the link itself is failed or
+        the far endpoint is still down.
+        """
+        if node_id not in self.switches and node_id not in self.devices:
+            raise TopologyError(f"unknown node {node_id!r}")
+        if node_id not in self._failed_nodes:
+            return
+        self._failed_nodes.discard(node_id)
+        if node_id in self.switches:
+            for (src, dst), link in self._switch_links.items():
+                if (
+                    node_id in (src, dst)
+                    and (src, dst) not in self._failed_links
+                    and src not in self._failed_nodes
+                    and dst not in self._failed_nodes
+                ):
+                    self._backbone.add_edge(
+                        src, dst, weight=link.propagation_delay + 1.0
+                    )
+
+    def is_node_failed(self, node_id: str) -> bool:
+        return node_id in self._failed_nodes
+
+    @property
+    def failed_nodes(self) -> List[str]:
+        return sorted(self._failed_nodes)
+
     def backbone_path(self, src_switch: str, dst_switch: str) -> List[str]:
         """Shortest backbone path (list of switch ids, inclusive)."""
+        for sw in (src_switch, dst_switch):
+            if sw in self._failed_nodes:
+                raise TopologyError(f"backbone switch {sw!r} is down")
         if src_switch == dst_switch:
             return [src_switch]
         try:

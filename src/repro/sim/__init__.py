@@ -14,7 +14,7 @@
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.random import RandomStreams
-from repro.sim.metrics import RunningStats, SimulationMetrics
+from repro.sim.metrics import RunningStats, SimulationMetrics, SurvivabilityMetrics
 from repro.sim.connection_sim import ConnectionSimConfig, ConnectionSimulator, SimResult
 
 __all__ = [
@@ -26,4 +26,5 @@ __all__ = [
     "SimResult",
     "SimulationMetrics",
     "Simulator",
+    "SurvivabilityMetrics",
 ]

@@ -15,16 +15,23 @@ simulator inverts this to set ``lambda``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.config import CACConfig, NetworkConfig, SimulationConfig, build_network
 from repro.core.cac import AdmissionController
+from repro.core.failover import FailoverManager
 from repro.core.policies import AllocationPolicy
+from repro.errors import ReproError
 from repro.network.connection import ConnectionSpec
 from repro.sim.engine import Simulator
-from repro.sim.metrics import SimulationMetrics
+from repro.sim.metrics import SimulationMetrics, SurvivabilityMetrics
 from repro.sim.random import RandomStreams
 from repro.traffic.generators import WorkloadGenerator
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.faults imports repro.sim)
+    from repro.faults.audit import SurvivabilityAudit
+    from repro.faults.injector import FaultConfig, FaultInjector, FaultScript
+    from repro.faults.retry import RetryOrchestrator, RetryPolicy
 
 
 @dataclasses.dataclass(frozen=True)
@@ -41,11 +48,24 @@ class ConnectionSimConfig:
     network: NetworkConfig = dataclasses.field(default_factory=NetworkConfig)
     simulation: SimulationConfig = dataclasses.field(default_factory=SimulationConfig)
     cac: Optional[CACConfig] = None
+    #: Stochastic fault processes (None/disabled = the fault-free paper run).
+    faults: Optional["FaultConfig"] = None
+    #: Deterministic fault schedule (tests/drills); may combine with faults.
+    fault_script: Optional["FaultScript"] = None
+    #: Backoff schedule for re-admitting displaced connections (None = the
+    #: RetryPolicy defaults).
+    retry: Optional["RetryPolicy"] = None
 
     def cac_config(self) -> CACConfig:
         if self.cac is not None:
             return self.cac
         return CACConfig(beta=self.beta)
+
+    @property
+    def faults_enabled(self) -> bool:
+        return self.fault_script is not None or (
+            self.faults is not None and self.faults.any_enabled
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,6 +76,12 @@ class SimResult:
     admission_probability: float
     metrics: SimulationMetrics
     sim_time: float
+    #: End-of-run invariant check (fault-injection runs only).
+    audit: Optional["SurvivabilityAudit"] = None
+
+    @property
+    def survivability(self) -> Optional[SurvivabilityMetrics]:
+        return self.metrics.survivability
 
 
 class ConnectionSimulator:
@@ -92,6 +118,36 @@ class ConnectionSimulator:
         self._active_hosts: set = set()
         self._counter = 0
         self._measuring = False
+        #: conn_id -> (departure Event, absolute departure time); needed so
+        #: a fault can cancel the departure of a displaced connection.
+        self._departures: Dict[str, tuple] = {}
+        self.injector: Optional["FaultInjector"] = None
+        self.retries: Optional["RetryOrchestrator"] = None
+        if config.faults_enabled:
+            from repro.faults.injector import FaultInjector
+            from repro.faults.retry import RetryOrchestrator, RetryPolicy
+
+            self.metrics.survivability = SurvivabilityMetrics()
+            self.failover = FailoverManager(self.cac)
+            self.retries = RetryOrchestrator(
+                sim=self.sim,
+                cac=self.cac,
+                policy=config.retry or RetryPolicy(),
+                rng=self.streams.stream("faults:retry-jitter"),
+                metrics=self.metrics.survivability,
+                on_reconnected=self._on_reconnected,
+                on_abandoned=self._on_retry_gave_up,
+                on_expired=self._on_retry_gave_up,
+            )
+            self.injector = FaultInjector(
+                sim=self.sim,
+                manager=self.failover,
+                streams=self.streams,
+                config=config.faults,
+                script=config.fault_script,
+                on_displaced=self._on_displaced,
+                on_repaired=self._on_repaired,
+            )
 
     # ------------------------------------------------------------------
 
@@ -137,7 +193,15 @@ class ConnectionSimulator:
         spec = ConnectionSpec(
             f"conn-{self._counter}", source, dest, traffic, deadline
         )
-        result = self.cac.request(spec)
+        try:
+            result = self.cac.request(spec)
+        except ReproError:
+            # Degraded topology (faults): no route / unviable analysis is a
+            # clean rejection of the fresh request, not a simulator crash.
+            if self._measuring:
+                self.metrics.n_rejected_cac += 1
+                self.metrics.n_rejected_no_route += 1
+            return
         if result.admitted:
             self._active_hosts.add(source)
             if self._measuring:
@@ -148,9 +212,7 @@ class ConnectionSimulator:
             lifetime = self.streams.exponential(
                 "lifetimes", self.config.simulation.mean_lifetime
             )
-            self.sim.schedule(
-                lifetime, lambda cid=spec.conn_id, host=source: self._on_departure(cid, host)
-            )
+            self._schedule_departure(spec.conn_id, source, lifetime)
         else:
             if self._measuring:
                 self.metrics.n_rejected_cac += 1
@@ -159,24 +221,78 @@ class ConnectionSimulator:
                 else:
                     self.metrics.n_rejected_infeasible += 1
 
+    def _schedule_departure(self, conn_id: str, host: str, delay: float) -> None:
+        event = self.sim.schedule(
+            delay, lambda cid=conn_id, h=host: self._on_departure(cid, h)
+        )
+        self._departures[conn_id] = (event, event.time)
+
     def _on_departure(self, conn_id: str, host: str) -> None:
+        self._departures.pop(conn_id, None)
         self.cac.release(conn_id)
         self._active_hosts.discard(host)
         self.metrics.n_departures += 1
         self.metrics.record_active_change(self.sim.now, -1)
 
     # ------------------------------------------------------------------
+    # Fault handling (wired only when faults are enabled)
+    # ------------------------------------------------------------------
+
+    def _on_displaced(self, kind, target, specs) -> None:
+        """A failure tore these connections down: cancel their departures
+        and queue them for backoff re-admission.  Their source hosts stay
+        reserved while the retry is pending."""
+        sv = self.metrics.survivability
+        if kind == "link":
+            sv.n_link_failures += 1
+        else:
+            sv.n_node_failures += 1
+        for spec in specs:
+            event, depart_at = self._departures.pop(spec.conn_id)
+            event.cancel()
+            self.metrics.record_active_change(self.sim.now, -1)
+            self.retries.enqueue(spec, expires_at=depart_at)
+
+    def _on_repaired(self, kind, target) -> None:
+        self.metrics.survivability.n_repairs += 1
+        # The topology just improved: re-attempt the whole retry queue now,
+        # tightest deadlines first, instead of waiting out the backoffs.
+        self.retries.kick_all()
+
+    def _on_reconnected(self, entry, result) -> None:
+        self.metrics.record_active_change(self.sim.now, +1)
+        # The connection resumes the remainder of its original lifetime.
+        self._schedule_departure(
+            entry.conn_id,
+            entry.spec.source_host,
+            entry.expires_at - self.sim.now,
+        )
+
+    def _on_retry_gave_up(self, entry) -> None:
+        """Abandoned (attempt budget exhausted) or expired while queued:
+        the source host finally frees up."""
+        self._active_hosts.discard(entry.spec.source_host)
+
+    # ------------------------------------------------------------------
 
     def run(self) -> SimResult:
         """Run until ``n_requests`` requests have been issued."""
+        if self.injector is not None:
+            self.injector.start()
         self._schedule_next_arrival()
         while self._counter <= self.config.n_requests and self.sim.step():
             pass
+        audit = None
+        if self.config.faults_enabled:
+            from repro.faults.audit import audit_controller
+
+            audit = audit_controller(self.cac)
         return SimResult(
             config=self.config,
             admission_probability=self.metrics.admission_probability,
             metrics=self.metrics,
             sim_time=self.sim.now,
+            audit=audit,
         )
 
 

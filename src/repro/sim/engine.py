@@ -67,18 +67,23 @@ class Simulator:
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
-        """Run the next event.  Returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if event.time < self.now - 1e-12:
-                raise SimulationError("event queue went backwards in time")
-            self.now = max(self.now, event.time)
-            self._processed += 1
-            event.callback()
-            return True
-        return False
+        """Run the next event.  Returns False when the queue is empty.
+
+        Cancelled events are purged lazily (the same sweep as
+        :meth:`peek_time`): they never count toward
+        :attr:`events_processed` and never advance :attr:`now`.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        if event.time < self.now - 1e-12:
+            raise SimulationError("event queue went backwards in time")
+        self.now = max(self.now, event.time)
+        self._processed += 1
+        event.callback()
+        return True
 
     def run_until(self, t_end: float, max_events: int = 50_000_000) -> None:
         """Run events up to (and including) time ``t_end``."""

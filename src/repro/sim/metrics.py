@@ -47,6 +47,86 @@ class RunningStats:
 
 
 @dataclasses.dataclass
+class SurvivabilityMetrics:
+    """Counters gathered while faults are injected into a run.
+
+    A *displaced* connection was admitted, then torn down by a link/node
+    failure; it resolves as exactly one of reconnected (re-admitted by the
+    retry machinery), abandoned (retry budget exhausted) or expired (its
+    lifetime elapsed while disconnected).
+    """
+
+    n_link_failures: int = 0
+    n_node_failures: int = 0
+    n_repairs: int = 0
+    n_displaced: int = 0
+    n_reconnected: int = 0
+    n_abandoned: int = 0
+    n_expired: int = 0
+    #: Total re-admission attempts (successful or not).
+    n_retry_attempts: int = 0
+    #: Seconds from displacement to successful re-admission.
+    time_to_recover: RunningStats = dataclasses.field(default_factory=RunningStats)
+    #: Attempts consumed per successful reconnection (1 = first try).
+    retries_per_reconnect: RunningStats = dataclasses.field(
+        default_factory=RunningStats
+    )
+
+    @property
+    def n_resolved(self) -> int:
+        return self.n_reconnected + self.n_abandoned + self.n_expired
+
+    @property
+    def survival_rate(self) -> float:
+        """Reconnected fraction of resolved displacements (expiries count
+        against survival: the connection never got its path back)."""
+        return self.n_reconnected / self.n_resolved if self.n_resolved else math.nan
+
+    @property
+    def mean_time_to_recover(self) -> float:
+        return self.time_to_recover.mean
+
+    def summary(self) -> Dict[str, float]:
+        """Plain-float snapshot (deterministic-replay comparisons)."""
+        return {
+            "n_link_failures": float(self.n_link_failures),
+            "n_node_failures": float(self.n_node_failures),
+            "n_repairs": float(self.n_repairs),
+            "n_displaced": float(self.n_displaced),
+            "n_reconnected": float(self.n_reconnected),
+            "n_abandoned": float(self.n_abandoned),
+            "n_expired": float(self.n_expired),
+            "n_retry_attempts": float(self.n_retry_attempts),
+            "survival_rate": self.survival_rate,
+            "mean_time_to_recover": self.time_to_recover.mean,
+            "mean_retries_per_reconnect": self.retries_per_reconnect.mean,
+        }
+
+    def format(self) -> str:
+        lines = [
+            "Survivability:",
+            f"  failures:    {self.n_link_failures} link, "
+            f"{self.n_node_failures} node ({self.n_repairs} repairs)",
+            f"  displaced:   {self.n_displaced}",
+            f"  reconnected: {self.n_reconnected}  abandoned: "
+            f"{self.n_abandoned}  expired: {self.n_expired}",
+        ]
+        if self.n_resolved:
+            lines.append(f"  survival rate: {self.survival_rate:.3f}")
+        if self.time_to_recover.n:
+            lines.append(
+                f"  mean time-to-recover: {self.time_to_recover.mean:.3f} s "
+                f"(max {self.time_to_recover.maximum:.3f} s)"
+            )
+        if self.retries_per_reconnect.n:
+            lines.append(
+                "  mean retries per reconnect: "
+                f"{self.retries_per_reconnect.mean:.2f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
 class SimulationMetrics:
     """Counters gathered during a connection-level simulation run."""
 
@@ -59,6 +139,8 @@ class SimulationMetrics:
     #: ("no synchronous bandwidth available") vs deadline infeasibility.
     n_rejected_no_bandwidth: int = 0
     n_rejected_infeasible: int = 0
+    #: Requests rejected because the (fault-degraded) topology had no route.
+    n_rejected_no_route: int = 0
     #: Time-weighted number of active connections.
     _active_area: float = 0.0
     _last_change: float = 0.0
@@ -67,6 +149,8 @@ class SimulationMetrics:
     delay_bounds: RunningStats = dataclasses.field(default_factory=RunningStats)
     #: Granted H_S statistics (seconds of synchronous time).
     grants: RunningStats = dataclasses.field(default_factory=RunningStats)
+    #: Fault/retry counters; None unless the run injects faults.
+    survivability: Optional[SurvivabilityMetrics] = None
 
     def record_active_change(self, now: float, delta: int) -> None:
         self._active_area += self._active_now * (now - self._last_change)

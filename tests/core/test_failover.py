@@ -37,25 +37,109 @@ class TestTopologyFailure:
         topo.restore_link("s1", "s2")
         assert topo.backbone_path("s1", "s2") == ["s1", "s2"]
 
-    def test_double_fail_rejected(self):
+    def test_double_fail_is_idempotent_noop(self):
         topo = build_network()
         topo.fail_link("s1", "s2")
-        with pytest.raises(TopologyError):
-            topo.fail_link("s1", "s2")
+        topo.fail_link("s1", "s2")  # no error, no state change
+        assert topo.is_link_failed("s1", "s2")
+        topo.restore_link("s1", "s2")
+        assert not topo.is_link_failed("s1", "s2")
+        assert topo.backbone_path("s1", "s2") == ["s1", "s2"]
 
-    def test_restore_unfailed_rejected(self):
-        with pytest.raises(TopologyError):
-            build_network().restore_link("s1", "s2")
+    def test_double_restore_is_idempotent_noop(self):
+        topo = build_network()
+        topo.fail_link("s1", "s2")
+        topo.restore_link("s1", "s2")
+        topo.restore_link("s1", "s2")  # no error
+        assert topo.backbone_path("s1", "s2") == ["s1", "s2"]
+
+    def test_restore_unfailed_is_noop(self):
+        topo = build_network()
+        topo.restore_link("s1", "s2")
+        assert topo.backbone_path("s1", "s2") == ["s1", "s2"]
 
     def test_unknown_link_rejected(self):
-        with pytest.raises(TopologyError):
+        with pytest.raises(TopologyError, match="s1->ghost"):
             build_network().fail_link("s1", "ghost")
+
+    def test_unknown_link_restore_rejected(self):
+        with pytest.raises(TopologyError, match="ghost"):
+            build_network().restore_link("ghost", "s2")
 
     def test_failed_links_listed(self):
         topo = build_network()
         topo.fail_link("s1", "s3")
         assert ("s1", "s3") in topo.failed_links
         assert ("s3", "s1") in topo.failed_links
+
+
+class TestNodeFailure:
+    def test_fail_switch_removes_routes(self):
+        topo = build_network()
+        topo.fail_node("s3")
+        assert topo.is_node_failed("s3")
+        # Direct s1<->s2 routing still works; anything via s3 does not.
+        assert topo.backbone_path("s1", "s2") == ["s1", "s2"]
+        with pytest.raises(TopologyError):
+            topo.backbone_path("s1", "s3")
+
+    def test_fail_and_restore_switch(self):
+        topo = build_network()
+        topo.fail_node("s2")
+        topo.restore_node("s2")
+        assert not topo.is_node_failed("s2")
+        assert topo.backbone_path("s1", "s2") == ["s1", "s2"]
+
+    def test_node_failure_idempotent(self):
+        topo = build_network()
+        topo.fail_node("s1")
+        topo.fail_node("s1")
+        topo.restore_node("s1")
+        topo.restore_node("s1")
+        assert topo.failed_nodes == []
+        assert topo.backbone_path("s1", "s3") == ["s1", "s3"]
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TopologyError):
+            build_network().fail_node("ghost")
+        with pytest.raises(TopologyError):
+            build_network().restore_node("ghost")
+
+    def test_link_failed_under_downed_switch_stays_failed(self):
+        # A link failure while its endpoint switch is down must survive the
+        # switch's repair: the link itself is still broken.
+        topo = build_network()
+        topo.fail_node("s1")
+        topo.fail_link("s1", "s2")
+        topo.restore_node("s1")
+        assert topo.is_link_failed("s1", "s2")
+        assert topo.backbone_path("s1", "s2") == ["s1", "s3", "s2"]
+        topo.restore_link("s1", "s2")
+        assert topo.backbone_path("s1", "s2") == ["s1", "s2"]
+
+    def test_restore_link_waits_for_switch(self):
+        topo = build_network()
+        topo.fail_node("s1")
+        topo.fail_link("s1", "s2")
+        topo.restore_link("s1", "s2")  # link up, switch still down
+        with pytest.raises(TopologyError):
+            topo.backbone_path("s1", "s2")
+        topo.restore_node("s1")
+        assert topo.backbone_path("s1", "s2") == ["s1", "s2"]
+
+    def test_failed_device_blocks_routing(self):
+        from repro.errors import RoutingError
+        from repro.network.routing import compute_route
+
+        topo = build_network()
+        topo.fail_node("id1")
+        with pytest.raises(RoutingError, match="id1"):
+            compute_route(topo, "host1-1", "host2-1")
+        # Ring-local routes on the orphaned ring still work.
+        route = compute_route(topo, "host1-1", "host1-2")
+        assert not route.crosses_backbone
+        topo.restore_node("id1")
+        assert compute_route(topo, "host1-1", "host2-1").crosses_backbone
 
 
 class TestFailover:
@@ -119,3 +203,60 @@ class TestFailover:
         text = report.format()
         assert "s1<->s2" in text
         assert "rerouted" in text
+
+    def test_readmit_pass_is_exception_safe(self):
+        # A re-admission attempt that blows up mid-pass must not abort the
+        # pass: the raising connection is reported dropped, later specs
+        # still get their re-admission attempt, and the ledgers stay
+        # consistent with the recorded connections.
+        topo, cac = loaded_network()
+        # Two connections over s1-s2 so the failure displaces a batch.
+        res = cac.request(
+            ConnectionSpec("r12b", "host1-3", "host2-3", TRAFFIC, 0.11)
+        )
+        assert res.admitted, res.reason
+        original_request = cac.request
+        blown = []
+
+        def flaky_request(spec):
+            if not blown:
+                blown.append(spec.conn_id)
+                raise TopologyError("injected mid-pass explosion")
+            return original_request(spec)
+
+        cac.request = flaky_request
+        report = FailoverManager(cac).fail_link("s1", "s2")
+        cac.request = original_request
+
+        # The blown-up connection is dropped with the failure recorded...
+        assert blown[0] in report.dropped
+        assert "explosion" in report.dropped[blown[0]]
+        # ...the other displaced connection still got its attempt...
+        assert set(report.rerouted) | set(report.dropped) == {"r12", "r12b"}
+        # ...and no synchronous bandwidth leaked anywhere.
+        for leak in cac.audit_allocations().values():
+            assert leak == pytest.approx(0.0, abs=1e-12)
+
+    def test_node_failover_displaces_ring_connections(self):
+        topo, cac = loaded_network()
+        report = FailoverManager(cac).fail_node("id1")
+        # Both connections touching ring1 are displaced; with the bridge
+        # down neither can come back until repair.
+        assert set(report.dropped) == {"r12", "r13"}
+        assert "r23" in report.unaffected
+        for leak in cac.audit_allocations().values():
+            assert leak == pytest.approx(0.0, abs=1e-12)
+
+    def test_node_failover_switch_reroutes_transit(self):
+        topo, cac = loaded_network()
+        report = FailoverManager(cac).fail_node("s3")
+        # r13 and r23 terminate at ring3 (bridged via s3): unrecoverable
+        # while s3 is down.  r12 never touched s3 and is unaffected.
+        assert set(report.dropped) == {"r13", "r23"}
+        assert report.unaffected == ["r12"]
+        manager = FailoverManager(cac)
+        manager.restore_node("s3")
+        res = cac.request(
+            ConnectionSpec("r13-again", "host1-2", "host3-1", TRAFFIC, 0.12)
+        )
+        assert res.admitted, res.reason

@@ -1,0 +1,198 @@
+"""Tests for scripted and stochastic fault injection."""
+
+import pytest
+
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.core.failover import FailoverManager
+from repro.errors import ConfigurationError
+from repro.faults.injector import (
+    FaultConfig,
+    FaultInjector,
+    FaultScript,
+    ScriptedFault,
+)
+from repro.network.connection import ConnectionSpec
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+def loaded():
+    topo = build_network()
+    cac = AdmissionController(topo, cac_config=CACConfig(beta=0.4))
+    for cid, src, dst, dl in [
+        ("r12", "host1-1", "host2-1", 0.12),
+        ("r13", "host1-2", "host3-1", 0.12),
+    ]:
+        assert cac.request(ConnectionSpec(cid, src, dst, TRAFFIC, dl)).admitted
+    return topo, cac
+
+
+class TestFaultConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(link_mtbf=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(link_mttr=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(distribution="weibull")
+
+    def test_any_enabled(self):
+        assert not FaultConfig().any_enabled
+        assert FaultConfig(link_mtbf=10.0).any_enabled
+        assert FaultConfig(device_mtbf=10.0).any_enabled
+
+
+class TestScriptedInjection:
+    def test_script_fails_and_repairs_on_schedule(self):
+        topo, cac = loaded()
+        sim = Simulator()
+        log = []
+        script = FaultScript(
+            [
+                ScriptedFault(20.0, "repair", ("s1", "s2")),
+                ScriptedFault(5.0, "fail", ("s1", "s2")),
+            ]
+        )
+        injector = FaultInjector(
+            sim,
+            FailoverManager(cac),
+            script=script,
+            on_displaced=lambda kind, target, specs: log.append(
+                ("fail", sim.now, kind, sorted(s.conn_id for s in specs))
+            ),
+            on_repaired=lambda kind, target: log.append(
+                ("repair", sim.now, kind)
+            ),
+        )
+        injector.start()
+        sim.run()
+        assert log == [
+            ("fail", 5.0, "link", ["r12"]),
+            ("repair", 20.0, "link", ),
+        ]
+        assert injector.n_failures == 1 and injector.n_repairs == 1
+        assert not topo.is_link_failed("s1", "s2")
+        # Displacement released the victim's resources.
+        assert "r12" not in cac.connections
+        for leak in cac.audit_allocations().values():
+            assert leak == pytest.approx(0.0, abs=1e-12)
+
+    def test_scripted_node_failure_displaces_ring(self):
+        topo, cac = loaded()
+        sim = Simulator()
+        displaced = []
+        script = FaultScript([ScriptedFault(1.0, "fail", "id1")])
+        FaultInjector(
+            sim,
+            FailoverManager(cac),
+            script=script,
+            on_displaced=lambda kind, target, specs: displaced.extend(
+                s.conn_id for s in specs
+            ),
+        ).start()
+        sim.run()
+        assert sorted(displaced) == ["r12", "r13"]
+        assert topo.is_node_failed("id1")
+
+    def test_script_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedFault(1.0, "explode", ("s1", "s2"))
+        with pytest.raises(ConfigurationError):
+            ScriptedFault(-1.0, "fail", ("s1", "s2"))
+
+    def test_needs_config_or_script(self):
+        topo, cac = loaded()
+        with pytest.raises(ConfigurationError):
+            FaultInjector(Simulator(), FailoverManager(cac))
+
+    def test_double_start_rejected(self):
+        topo, cac = loaded()
+        injector = FaultInjector(
+            Simulator(),
+            FailoverManager(cac),
+            script=FaultScript([]),
+        )
+        injector.start()
+        with pytest.raises(ConfigurationError):
+            injector.start()
+
+
+class TestStochasticInjection:
+    def run_failure_times(self, seed, horizon=2000.0):
+        topo, cac = loaded()
+        sim = Simulator()
+        times = []
+        injector = FaultInjector(
+            sim,
+            FailoverManager(cac),
+            streams=RandomStreams(seed),
+            config=FaultConfig(link_mtbf=200.0, link_mttr=20.0),
+            on_displaced=lambda kind, target, specs: times.append(
+                (round(sim.now, 9), target)
+            ),
+        )
+        injector.start()
+        sim.run_until(horizon)
+        return times
+
+    def test_same_seed_same_schedule(self):
+        assert self.run_failure_times(5) == self.run_failure_times(5)
+        assert len(self.run_failure_times(5)) > 0
+
+    def test_different_seeds_differ(self):
+        assert self.run_failure_times(5) != self.run_failure_times(6)
+
+    def test_fault_streams_do_not_touch_workload_streams(self):
+        # The injector draws only from "faults:*" substreams: the workload
+        # streams must be byte-identical with and without fault draws.
+        clean = RandomStreams(11)
+        baseline = [clean.exponential("arrivals", 1.0) for _ in range(50)]
+
+        topo, cac = loaded()
+        streams = RandomStreams(11)
+        injector = FaultInjector(
+            Simulator(),
+            FailoverManager(cac),
+            streams=streams,
+            config=FaultConfig(link_mtbf=50.0, link_mttr=5.0),
+        )
+        injector.start()  # consumes fault-stream draws
+        assert [
+            streams.exponential("arrivals", 1.0) for _ in range(50)
+        ] == baseline
+
+    def test_deterministic_distribution_fires_at_mean(self):
+        topo, cac = loaded()
+        sim = Simulator()
+        log = []
+        injector = FaultInjector(
+            sim,
+            FailoverManager(cac),
+            streams=RandomStreams(1),
+            config=FaultConfig(
+                link_mtbf=100.0, link_mttr=10.0, distribution="deterministic"
+            ),
+        )
+        injector.on_displaced = lambda kind, target, specs: log.append(
+            (sim.now, "fail", target)
+        )
+        injector.on_repaired = lambda kind, target: log.append(
+            (sim.now, "repair", target)
+        )
+        injector.start()
+        sim.run_until(115.0)
+        # All three links fail together at t=100, repair at t=110.
+        assert [t for t, action, _ in log if action == "fail"] == [
+            100.0,
+            100.0,
+            100.0,
+        ]
+        assert [t for t, action, _ in log if action == "repair"] == [
+            110.0,
+            110.0,
+            110.0,
+        ]

@@ -1,0 +1,144 @@
+"""Tests for the retry-with-backoff re-admission machinery."""
+
+import random
+
+import pytest
+
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.core.failover import FailoverManager
+from repro.errors import ConfigurationError
+from repro.faults.retry import RetryOrchestrator, RetryPolicy
+from repro.network.connection import ConnectionSpec
+from repro.sim.engine import Simulator
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            base_delay=1.0, factor=2.0, max_delay=10.0, jitter=0.0
+        )
+        delays = [policy.delay(a) for a in range(1, 7)]
+        assert delays == [1.0, 2.0, 4.0, 8.0, 10.0, 10.0]
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay=2.0, factor=1.0, jitter=0.5)
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        a = [policy.delay(1, rng_a) for _ in range(20)]
+        b = [policy.delay(1, rng_b) for _ in range(20)]
+        assert a == b  # same seed, same jitter sequence
+        assert all(2.0 <= d < 3.0 for d in a)
+        assert len(set(a)) > 1  # jitter actually varies
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay(0)
+
+
+def displaced_setup(policy):
+    """A loaded network with one connection displaced by a link failure."""
+    topo = build_network()
+    cac = AdmissionController(topo, cac_config=CACConfig(beta=0.4))
+    res = cac.request(
+        ConnectionSpec("vic", "host1-1", "host2-1", TRAFFIC, 0.12)
+    )
+    assert res.admitted, res.reason
+    sim = Simulator()
+    manager = FailoverManager(cac)
+    orch = RetryOrchestrator(sim, cac, policy)
+    return topo, cac, sim, manager, orch
+
+
+class TestRetryOrchestrator:
+    def test_reconnects_on_degraded_topology(self):
+        policy = RetryPolicy(base_delay=3.0, jitter=0.0)
+        topo, cac, sim, manager, orch = displaced_setup(policy)
+        specs = manager.displace_link("s1", "s2")
+        assert [s.conn_id for s in specs] == ["vic"]
+        for spec in specs:
+            orch.enqueue(spec)
+        sim.run()
+        assert orch.metrics.n_reconnected == 1
+        assert orch.metrics.time_to_recover.mean == pytest.approx(3.0)
+        # Re-admitted over the surviving triangle side.
+        assert cac.connections["vic"].route.switch_path == ["s1", "s3", "s2"]
+
+    def test_gives_up_after_max_attempts(self):
+        policy = RetryPolicy(base_delay=1.0, factor=1.0, max_attempts=3, jitter=0.0)
+        topo, cac, sim, manager, orch = displaced_setup(policy)
+        # Cut ring1 off entirely: no retry can ever succeed.
+        abandoned = []
+        orch.on_abandoned = lambda entry: abandoned.append(entry.conn_id)
+        for spec in manager.displace_node("id1"):
+            orch.enqueue(spec)
+        sim.run()
+        assert abandoned == ["vic"]
+        assert orch.metrics.n_abandoned == 1
+        assert orch.metrics.n_retry_attempts == 3
+        assert len(orch) == 0
+        assert "vic" not in cac.connections
+        # A clean rejection each time, never a crash, never a leak.
+        for leak in cac.audit_allocations().values():
+            assert leak == pytest.approx(0.0, abs=1e-12)
+
+    def test_expires_when_lifetime_ends_while_queued(self):
+        policy = RetryPolicy(base_delay=5.0, factor=1.0, jitter=0.0)
+        topo, cac, sim, manager, orch = displaced_setup(policy)
+        expired = []
+        orch.on_expired = lambda entry: expired.append(entry.conn_id)
+        for spec in manager.displace_node("id1"):
+            orch.enqueue(spec, expires_at=2.0)  # lifetime ends before retry
+        sim.run()
+        assert expired == ["vic"]
+        assert orch.metrics.n_expired == 1
+        assert orch.metrics.n_retry_attempts == 0
+
+    def test_kick_all_attempts_tightest_deadline_first(self):
+        topo = build_network()
+        cac = AdmissionController(topo, cac_config=CACConfig(beta=0.4))
+        for cid, src, dst, dl in [
+            ("loose", "host1-1", "host2-1", 0.12),
+            ("tight", "host1-2", "host2-2", 0.08),
+        ]:
+            assert cac.request(
+                ConnectionSpec(cid, src, dst, TRAFFIC, dl)
+            ).admitted
+        sim = Simulator()
+        manager = FailoverManager(cac)
+        policy = RetryPolicy(base_delay=100.0, jitter=0.0)
+        attempts = []
+        orch = RetryOrchestrator(
+            sim,
+            cac,
+            policy,
+            on_reconnected=lambda e, r: attempts.append(e.conn_id),
+        )
+        for spec in manager.displace_link("s1", "s2"):
+            orch.enqueue(spec)
+        # Repair at t=1, long before the first backoff timer at t=100.
+        sim.schedule(1.0, lambda: manager.restore_link("s1", "s2"))
+        sim.schedule(1.0, orch.kick_all)
+        sim.run_until(2.0)
+        assert attempts == ["tight", "loose"]
+        assert sim.now == 2.0
+        # The backoff timers were cancelled: nothing left to run.
+        assert sim.peek_time() is None
+
+    def test_duplicate_enqueue_rejected(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.0)
+        topo, cac, sim, manager, orch = displaced_setup(policy)
+        specs = manager.displace_link("s1", "s2")
+        orch.enqueue(specs[0])
+        with pytest.raises(ConfigurationError):
+            orch.enqueue(specs[0])

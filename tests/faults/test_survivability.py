@@ -1,0 +1,228 @@
+"""End-to-end survivability: fail -> retry -> restore -> re-admit.
+
+The key invariant (and the reason the CAC release/re-admit path is
+transactional): after a full outage-and-recovery cycle, the allocations on
+both FDDI rings and the delays through every ATM port must exactly match a
+fresh admission of the same connection set — nothing leaked, nothing
+double-counted.
+"""
+
+import math
+
+import pytest
+
+from repro.config import CACConfig, build_network
+from repro.core import AdmissionController
+from repro.core.failover import FailoverManager
+from repro.faults.audit import audit_controller
+from repro.faults.injector import FaultConfig, FaultInjector, FaultScript, ScriptedFault
+from repro.faults.retry import RetryOrchestrator, RetryPolicy
+from repro.network.connection import ConnectionSpec
+from repro.sim.connection_sim import ConnectionSimConfig, ConnectionSimulator
+from repro.sim.engine import Simulator
+from repro.traffic import DualPeriodicTraffic
+
+TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+
+#: (conn_id, source, dest, deadline) — r12 has the tightest deadline so the
+#: deadline-ordered re-admission pass must bring it back first.
+WORKLOAD = [
+    ("r12", "host1-1", "host2-1", 0.10),
+    ("r13", "host1-2", "host3-1", 0.12),
+    ("r23", "host2-2", "host3-2", 0.12),
+]
+
+
+def admit_all(cac, order):
+    by_id = {cid: (cid, src, dst, dl) for cid, src, dst, dl in WORKLOAD}
+    for cid in order:
+        cid, src, dst, dl = by_id[cid]
+        res = cac.request(ConnectionSpec(cid, src, dst, TRAFFIC, dl))
+        assert res.admitted, f"{cid}: {res.reason}"
+
+
+class TestFullCycleNoLeak:
+    def test_fail_retry_restore_readmit_matches_fresh_admission(self):
+        topo = build_network()
+        cac = AdmissionController(topo, cac_config=CACConfig(beta=0.4))
+        admit_all(cac, ["r12", "r13", "r23"])
+
+        sim = Simulator()
+        manager = FailoverManager(cac)
+        # No jitter and a flat 2 s backoff: attempts at t=3,5,7,9 all fail
+        # (device id1 is down, ring1 is unreachable), then the repair at
+        # t=10 kicks the queue and both connections come back.
+        policy = RetryPolicy(
+            base_delay=2.0, factor=1.0, max_attempts=50, jitter=0.0
+        )
+        reconnected = []
+        orch = RetryOrchestrator(
+            sim,
+            cac,
+            policy,
+            on_reconnected=lambda e, r: reconnected.append(
+                (sim.now, e.conn_id)
+            ),
+        )
+        injector = FaultInjector(
+            sim,
+            manager,
+            script=FaultScript(
+                [
+                    ScriptedFault(1.0, "fail", "id1"),
+                    ScriptedFault(10.0, "repair", "id1"),
+                ]
+            ),
+            on_displaced=lambda kind, target, specs: [
+                orch.enqueue(s) for s in specs
+            ],
+            on_repaired=lambda kind, target: orch.kick_all(),
+        )
+        injector.start()
+        sim.run()
+
+        # Both displaced connections survived, tightest deadline first,
+        # immediately on repair (not at the next backoff timer).
+        assert reconnected == [(10.0, "r12"), (10.0, "r13")]
+        assert orch.metrics.n_displaced == 2
+        assert orch.metrics.survival_rate == 1.0
+        assert orch.metrics.time_to_recover.mean == pytest.approx(9.0)
+        # 4 failed attempts while down (t=3,5,7,9) + the kick that landed.
+        assert orch.metrics.retries_per_reconnect.mean == pytest.approx(5.0)
+
+        # --- The invariant: the whole outage cycle (displacement, four
+        # failed re-admission attempts on the dead topology, restore,
+        # deadline-ordered kick) must leave state bit-for-bit identical to
+        # a plain release-and-readmit on a CAC that never saw a fault.
+        # BetaPolicy grants depend on the live set at admission time, so
+        # the reference replays the same admission sequence: original
+        # order, release the displaced pair, re-admit in recovery order.
+        fresh_topo = build_network()
+        fresh = AdmissionController(fresh_topo, cac_config=CACConfig(beta=0.4))
+        admit_all(fresh, ["r12", "r13", "r23"])
+        fresh.release("r12")
+        fresh.release("r13")
+        admit_all(fresh, [cid for _, cid in reconnected])
+
+        assert set(cac.connections) == set(fresh.connections)
+        for cid, rec in cac.connections.items():
+            ref = fresh.connections[cid]
+            assert rec.h_source == ref.h_source, cid
+            assert rec.h_dest == ref.h_dest, cid
+            assert rec.delay_bound == ref.delay_bound, cid
+            assert rec.route.switch_path == ref.route.switch_path, cid
+        # Ring synchronous-bandwidth ledgers match exactly.
+        for rid, ring in topo.rings.items():
+            assert (
+                ring.allocated_sync_time
+                == fresh_topo.rings[rid].allocated_sync_time
+            ), rid
+        # ATM ports carry no per-connection state: the recomputed
+        # end-to-end delays (which traverse every port) must agree too.
+        assert cac.current_delays() == fresh.current_delays()
+
+        audit = audit_controller(cac)
+        assert audit.ok, audit.format()
+        assert audit.leaked_sync_time == pytest.approx(0.0, abs=1e-12)
+        assert not audit.deadline_violations
+
+
+class TestSimulatorUnderFaults:
+    FAULTY = dict(
+        utilization=0.5,
+        beta=0.5,
+        seed=3,
+        n_requests=40,
+        warmup_requests=10,
+        faults=FaultConfig(link_mtbf=120.0, link_mttr=40.0),
+        retry=RetryPolicy(
+            base_delay=5.0, factor=2.0, max_delay=60.0, max_attempts=8
+        ),
+    )
+
+    _first_run = None
+
+    @classmethod
+    def faulty_run(cls):
+        if cls._first_run is None:
+            cls._first_run = ConnectionSimulator(
+                ConnectionSimConfig(**cls.FAULTY)
+            ).run()
+        return cls._first_run
+
+    def test_deterministic_replay(self):
+        # Satellite: same seed => bit-for-bit identical survivability
+        # metrics, admission probability, and simulated time.
+        a = self.faulty_run()
+        b = ConnectionSimulator(ConnectionSimConfig(**self.FAULTY)).run()
+        assert a.survivability.summary() == b.survivability.summary()
+        assert a.admission_probability == b.admission_probability
+        assert a.sim_time == b.sim_time
+        assert a.metrics.n_requests == b.metrics.n_requests
+
+    def test_faults_actually_fire_and_audit_passes(self):
+        result = self.faulty_run()
+        sv = result.survivability
+        assert sv.n_link_failures > 0
+        assert sv.n_displaced > 0
+        assert sv.n_reconnected > 0
+        assert 0.0 <= sv.survival_rate <= 1.0
+        assert not math.isnan(sv.mean_time_to_recover)
+        # Graceful degradation, never a crash — and never a leak.
+        assert result.audit is not None
+        assert result.audit.ok, result.audit.format()
+
+    def test_fault_free_run_untouched(self):
+        cfg = ConnectionSimConfig(
+            utilization=0.5, beta=0.5, seed=3, n_requests=40, warmup_requests=10
+        )
+        result = ConnectionSimulator(cfg).run()
+        assert result.survivability is None
+        assert result.audit is None
+        # A FaultConfig with every MTBF at 0 is the same as no faults.
+        assert not ConnectionSimConfig(
+            utilization=0.5, faults=FaultConfig()
+        ).faults_enabled
+
+
+class TestSurvivabilityExperiment:
+    def test_run_survivability_tiny(self, tmp_path):
+        from repro.experiments.common import ExperimentSettings
+        from repro.experiments.survivability import main, run_survivability
+
+        settings = ExperimentSettings(
+            n_requests=25, warmup_requests=5, seeds=(1,)
+        )
+        series, audit_failures = run_survivability(
+            settings,
+            utilizations=(0.5,),
+            faults=FaultConfig(link_mtbf=100.0, link_mttr=20.0),
+            retry=RetryPolicy(base_delay=2.0, max_attempts=8),
+        )
+        assert audit_failures == []
+        labels = [s.label for s in series]
+        assert labels == [
+            "AP no-faults",
+            "AP faults",
+            "survival",
+            "mean TTR (s)",
+            "retries/reconnect",
+        ]
+        ap_clean, ap_faults = series[0], series[1]
+        assert ap_clean.xs == [0.5] and ap_faults.xs == [0.5]
+        assert 0.0 <= ap_clean.ys[0] <= 1.0
+        assert 0.0 <= ap_faults.ys[0] <= 1.0
+
+    def test_main_writes_csv(self, tmp_path):
+        from repro.experiments.common import ExperimentSettings
+        from repro.experiments.survivability import main
+
+        settings = ExperimentSettings(
+            n_requests=20, warmup_requests=2, seeds=(1,)
+        )
+        text = main(settings, csv_dir=str(tmp_path), utilizations=(0.3,))
+        assert "Survivability" in text
+        assert "AP faults" in text
+        assert (tmp_path / "survivability.csv").exists()
+        header = (tmp_path / "survivability.csv").read_text().splitlines()[0]
+        assert "survival" in header

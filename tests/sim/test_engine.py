@@ -89,6 +89,38 @@ class TestSimulator:
         sim.run()
         assert sim.events_processed == 5
 
+    def test_cancelled_heap_purged_without_inflation(self):
+        # Regression: a heap full of cancelled events must not inflate
+        # events_processed, advance the clock, or consume event budget.
+        sim = Simulator()
+        cancelled = [sim.schedule(float(i), lambda: None) for i in range(1, 500)]
+        for ev in cancelled:
+            ev.cancel()
+        fired = []
+        sim.schedule(1000.0, lambda: fired.append(sim.now))
+        # Budget of 2 would blow up if cancelled events counted as steps.
+        sim.run(max_events=2)
+        assert fired == [1000.0]
+        assert sim.events_processed == 1
+        assert sim._heap == []
+
+    def test_step_skips_cancelled_and_reports_empty(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        assert sim.step() is False
+        assert sim.events_processed == 0
+        assert sim.now == 0.0
+
+    def test_cancel_after_peek_still_skipped(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append("x"))
+        assert sim.peek_time() == 1.0
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
 
 class TestRandomStreams:
     def test_reproducible(self):
