@@ -11,6 +11,9 @@ Commands
 ``experiments ...``
     Forwards to :mod:`repro.experiments` (``figure7``, ``figure8``,
     ``validation``, ``ablation-*``, ``survivability``, ``all``).
+``bench``
+    Run the tracked CAC benchmarks (:mod:`repro.bench`) and write
+    ``BENCH_cac.json``.
 """
 
 from __future__ import annotations
@@ -99,6 +102,10 @@ def main(argv=None) -> int:
         from repro.experiments.__main__ import main as experiments_main
 
         return experiments_main(argv[1:])
+    if argv[:1] == ["bench"]:
+        from repro.bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="FDDI-ATM-FDDI real-time CAC — operator utilities.",
@@ -119,6 +126,12 @@ def main(argv=None) -> int:
     sub.add_parser(
         "experiments",
         help="run the paper's experiments (see repro.experiments)",
+        add_help=False,
+    )
+
+    sub.add_parser(
+        "bench",
+        help="run the tracked CAC benchmarks (writes BENCH_cac.json)",
         add_help=False,
     )
 

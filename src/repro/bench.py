@@ -1,0 +1,300 @@
+"""Tracked CAC benchmarks: ``python -m repro bench``.
+
+Complements the pytest-benchmark suite under ``benchmarks/`` with a
+dependency-free runner whose JSON output (``BENCH_cac.json``) is committed
+to the repository, so hot-path regressions show up in review diffs.
+
+Two tiers:
+
+* **micro** — the E6 scenario (3-ring reference network, three background
+  connections): one full admission decision with the incremental engine
+  and with full recomputation, plus a hopeless-request rejection and a
+  cold-cache delay analysis.
+* **macro (repeat-admission)** — the admission controller's actual
+  operating regime: a standing population of connections across many
+  disjoint interference components, with repeated admit/release churn on
+  one component.  Full recomputation re-analyzes every component on every
+  probe; the incremental engine touches only the dirty one.  The reported
+  ``speedup_vs_full`` is the acceptance metric, and the two controllers'
+  decisions are asserted identical field-by-field.
+
+Every bench reports the median and p90 of the warm rounds (the first few
+rounds populate the LRU caches and are discarded; the steady state is what
+the admission hot path actually sees).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import AnalysisConfig, CACConfig, NetworkConfig, build_network
+from repro.core import AdmissionController, ConnectionLoad
+from repro.core.delay import DelayAnalyzer
+from repro.network.connection import ConnectionSpec
+from repro.traffic import DualPeriodicTraffic
+
+#: The E6 workload (matches ``benchmarks/bench_cac_latency.py``).
+MICRO_TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
+#: Lighter per-connection load so the macro scenario's rings can hold a
+#: standing population of seven connections each.
+MACRO_TRAFFIC = DualPeriodicTraffic(c1=60_000.0, p1=0.015, c2=30_000.0, p2=0.005)
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchResult:
+    """One bench: warm-round latency quantiles (seconds)."""
+
+    name: str
+    rounds: int
+    median_s: float
+    p90_s: float
+    #: Median of the matching full-recomputation bench divided by this
+    #: one's median (only on incremental-engine benches).
+    speedup_vs_full: Optional[float] = None
+
+
+def _p90(times: List[float]) -> float:
+    ordered = sorted(times)
+    return ordered[min(len(ordered) - 1, int(0.9 * len(ordered)))]
+
+
+def _time_rounds(
+    fn: Callable[[], object], rounds: int, warmup: int
+) -> List[float]:
+    times = []
+    for _ in range(rounds + warmup):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return times[warmup:]
+
+
+def _result(name, times, full_times=None) -> BenchResult:
+    median = statistics.median(times)
+    return BenchResult(
+        name=name,
+        rounds=len(times),
+        median_s=median,
+        p90_s=_p90(times),
+        speedup_vs_full=(
+            statistics.median(full_times) / median if full_times else None
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Micro benches (the E6 scenario)
+# ----------------------------------------------------------------------
+
+def _micro_controller(incremental: bool) -> AdmissionController:
+    topo = build_network()
+    cac = AdmissionController(
+        topo, cac_config=CACConfig(beta=0.5, incremental=incremental)
+    )
+    pairs = [("host1-1", "host2-1"), ("host2-2", "host3-2"), ("host3-3", "host1-3")]
+    for i, (src, dst) in enumerate(pairs):
+        res = cac.request(ConnectionSpec(f"bg{i}", src, dst, MICRO_TRAFFIC, 0.09))
+        assert res.admitted, f"micro background bg{i} must admit"
+    return cac
+
+
+def _admit_release_times(
+    cac: AdmissionController,
+    probe: Tuple[str, str, float],
+    rounds: int,
+    warmup: int,
+    decisions: Optional[List[tuple]] = None,
+    traffic=MICRO_TRAFFIC,
+) -> List[float]:
+    src, dst, deadline = probe
+    counter = [0]
+
+    def one_round():
+        counter[0] += 1
+        cid = f"probe-{counter[0]}"
+        res = cac.request(ConnectionSpec(cid, src, dst, traffic, deadline))
+        if res.admitted:
+            cac.release(cid)
+        if decisions is not None:
+            decisions.append(
+                (res.admitted, res.delay_bound, res.h_min_need, res.n_probes)
+            )
+        return res
+
+    return _time_rounds(one_round, rounds, warmup)
+
+
+def run_micro_benches(rounds: int = 10, warmup: int = 3) -> List[BenchResult]:
+    probe = ("host1-2", "host2-3", 0.09)
+    full = _micro_controller(incremental=False)
+    t_full = _admit_release_times(full, probe, rounds, warmup)
+    incr = _micro_controller(incremental=True)
+    t_incr = _admit_release_times(incr, probe, rounds, warmup)
+
+    cac = _micro_controller(incremental=True)
+
+    def one_rejection():
+        # Sub-2-TTRT deadline: refused before any delay analysis runs.
+        res = cac.request(
+            ConnectionSpec("nope", "host1-2", "host2-3", MICRO_TRAFFIC, 0.012)
+        )
+        assert not res.admitted
+        return res
+
+    t_reject = _time_rounds(one_rejection, rounds, warmup)
+
+    loads = [
+        ConnectionLoad(r.spec, r.route, r.h_source, r.h_dest)
+        for r in cac.connections.values()
+    ]
+    topo = cac.topology
+
+    def one_cold_analysis():
+        return DelayAnalyzer(topo, cac.network_config, AnalysisConfig()).compute(loads)
+
+    t_cold = _time_rounds(one_cold_analysis, rounds, warmup)
+
+    return [
+        _result("admission_decision_full", t_full),
+        _result("admission_decision_incremental", t_incr, full_times=t_full),
+        _result("rejection_decision", t_reject),
+        _result("cold_analysis_3conn", t_cold),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Macro bench: repeat admission against a standing population
+# ----------------------------------------------------------------------
+
+def _macro_controller(
+    incremental: bool, n_rings: int, per_group: int
+) -> AdmissionController:
+    topo = build_network(NetworkConfig(n_rings=n_rings))
+    cac = AdmissionController(
+        topo, cac_config=CACConfig(beta=0.5, incremental=incremental)
+    )
+    k = 0
+    # Disjoint ring pairs (1,2), (3,4), ... — each pair is one
+    # interference component the probe traffic never touches (except the
+    # first, which the probe below shares).
+    for a in range(1, n_rings, 2):
+        b = a + 1
+        for j in range(per_group):
+            spec = ConnectionSpec(
+                f"bg{k}",
+                f"host{a}-{(j % 4) + 1}",
+                f"host{b}-{((j + 1) % 4) + 1}",
+                MACRO_TRAFFIC,
+                0.09,
+            )
+            res = cac.request(spec)
+            assert res.admitted, f"macro background bg{k} must admit"
+            k += 1
+    return cac
+
+
+def run_macro_bench(
+    quick: bool = False,
+) -> Tuple[List[BenchResult], bool]:
+    """Repeat-admission bench; returns (results, decisions_identical)."""
+    if quick:
+        n_rings, per_group, rounds, warmup = 8, 7, 8, 2
+    else:
+        n_rings, per_group, rounds, warmup = 16, 7, 25, 5
+    probe = ("host1-2", "host2-3", 0.09)
+    decisions_full: List[tuple] = []
+    decisions_incr: List[tuple] = []
+    full = _macro_controller(False, n_rings, per_group)
+    t_full = _admit_release_times(
+        full, probe, rounds, warmup, decisions_full, traffic=MACRO_TRAFFIC
+    )
+    incr = _macro_controller(True, n_rings, per_group)
+    t_incr = _admit_release_times(
+        incr, probe, rounds, warmup, decisions_incr, traffic=MACRO_TRAFFIC
+    )
+    identical = decisions_full == decisions_incr
+    suffix = "_quick" if quick else ""
+    return (
+        [
+            _result(f"repeat_admission_full{suffix}", t_full),
+            _result(
+                f"repeat_admission_incremental{suffix}", t_incr, full_times=t_full
+            ),
+        ],
+        identical,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def run_benches(quick: bool = False) -> Dict[str, object]:
+    micro_rounds = 5 if quick else 10
+    results = run_micro_benches(rounds=micro_rounds, warmup=2 if quick else 3)
+    macro, identical = run_macro_bench(quick=quick)
+    results.extend(macro)
+    return {
+        "benchmark": "repro-cac",
+        "quick": quick,
+        "macro_decisions_identical": identical,
+        "results": [dataclasses.asdict(r) for r in results],
+    }
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    lines = [
+        "CAC benchmarks"
+        + (" (quick)" if payload["quick"] else "")
+        + " — median / p90 per decision, warm rounds",
+        "",
+        f"  {'bench':38s} {'rounds':>6s} {'median':>10s} {'p90':>10s} {'vs full':>8s}",
+    ]
+    for r in payload["results"]:
+        speedup = r["speedup_vs_full"]
+        lines.append(
+            f"  {r['name']:38s} {r['rounds']:6d} "
+            f"{r['median_s'] * 1e3:8.2f}ms {r['p90_s'] * 1e3:8.2f}ms "
+            + (f"{speedup:7.2f}x" if speedup else f"{'—':>8s}")
+        )
+    lines.append("")
+    lines.append(
+        "  macro decisions identical (incremental vs full): "
+        + ("yes" if payload["macro_decisions_identical"] else "NO — BUG")
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the tracked CAC benchmarks and write BENCH_cac.json.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller scenario, fewer rounds"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_cac.json",
+        help="JSON output path (default BENCH_cac.json; '-' to skip)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benches(quick=args.quick)
+    print(format_report(payload))
+    if args.output != "-":
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"\n[written to {args.output}]")
+    return 0 if payload["macro_decisions_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

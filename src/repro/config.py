@@ -80,6 +80,10 @@ class AnalysisConfig:
     #: exact).  Rounding up keeps envelopes conservative and makes them
     #: identical across nearby binary-search probes — a large cache win.
     output_delay_quantum: float = 1e-4
+    #: Entry budget of the analyzer's stage/envelope caches.  Eviction is
+    #: least-recently-used, so long sweeps degrade gracefully instead of
+    #: falling off a cold-cache cliff at the limit.
+    stage_cache_size: int = 20_000
 
     def __post_init__(self):
         if self.envelope_horizon <= 0:
@@ -88,6 +92,8 @@ class AnalysisConfig:
             raise ConfigurationError("need at least 8 envelope segments")
         if self.output_delay_quantum < 0:
             raise ConfigurationError("delay quantum must be non-negative")
+        if self.stage_cache_size < 4:
+            raise ConfigurationError("stage cache needs at least 4 entries")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,6 +111,11 @@ class CACConfig:
     #: Search along the ray through the origin (Rule 2 literally) instead of
     #: the segment from the min_abs point (Step 3 literally).  See DESIGN.md.
     use_origin_ray: bool = False
+    #: Reuse previous fixed-point reports for connections whose shared-port
+    #: inputs a probe cannot change (interference-partition analysis; see
+    #: repro.core.incremental).  Bit-identical to the full recomputation —
+    #: disable only to benchmark against it or to debug the engine.
+    incremental: bool = True
     analysis: AnalysisConfig = dataclasses.field(default_factory=AnalysisConfig)
 
     def __post_init__(self):

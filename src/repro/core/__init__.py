@@ -18,10 +18,13 @@ from repro.core.delay import (
     ConnectionLoad,
     DelayAnalyzer,
     DelayReport,
+    LRUCache,
     RegulatorSpec,
     ResourceUsage,
+    route_port_names,
 )
 from repro.core.cac import AdmissionController, AdmissionResult
+from repro.core.incremental import IncrementalDelayEngine
 from repro.core.policies import (
     AllocationPolicy,
     BetaPolicy,
@@ -49,7 +52,10 @@ __all__ = [
     "FDDILocalPolicy",
     "FailoverManager",
     "FailoverReport",
+    "IncrementalDelayEngine",
+    "LRUCache",
     "MaxAvailPolicy",
+    "route_port_names",
     "NetworkStateReport",
     "PreemptionResult",
     "PreemptiveAdmission",

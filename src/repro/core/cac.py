@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import CACConfig, NetworkConfig
 from repro.core.delay import ConnectionLoad, DelayAnalyzer, DelayReport
+from repro.core.incremental import IncrementalDelayEngine
 from repro.core.policies import AllocationContext, AllocationPolicy, BetaPolicy
 from repro.errors import (
     BufferOverflowError,
@@ -50,6 +51,9 @@ class AdmissionResult:
     h_max_need: Optional[Tuple[float, float]] = None
     h_max_avail: Optional[Tuple[float, float]] = None
     delay_bound: Optional[float] = None
+    #: Distinct feasibility probes the decision evaluated (0 when the
+    #: request was refused before any delay analysis ran).
+    n_probes: int = 0
 
 
 class AdmissionController:
@@ -69,7 +73,18 @@ class AdmissionController:
         self.analyzer = DelayAnalyzer(
             topology, self.network_config, self.config.analysis
         )
+        #: Interference-partition cache over the analyzer (None = every
+        #: evaluation recomputes the whole active set from scratch).
+        self.engine: Optional[IncrementalDelayEngine] = (
+            IncrementalDelayEngine(self.analyzer)
+            if self.config.incremental
+            else None
+        )
         self.connections: Dict[str, ConnectionRecord] = {}
+        #: Cached ConnectionLoad views of the active set (rebuilt lazily
+        #: after admissions/releases; a binary search issues dozens of
+        #: probes against an unchanged active set).
+        self._active_loads: Optional[List[ConnectionLoad]] = None
         #: Running counters for admission-probability measurements.
         self.n_requests = 0
         self.n_admitted = 0
@@ -84,21 +99,27 @@ class AdmissionController:
     def _loads_with(
         self, candidate: Optional[ConnectionLoad]
     ) -> List[ConnectionLoad]:
-        loads = [
-            ConnectionLoad(rec.spec, rec.route, rec.h_source, rec.h_dest)
-            for rec in self.connections.values()
-        ]
+        base = self._active_loads
+        if base is None:
+            base = [
+                ConnectionLoad(rec.spec, rec.route, rec.h_source, rec.h_dest)
+                for rec in self.connections.values()
+            ]
+            self._active_loads = base
         if candidate is not None:
-            loads.append(candidate)
-        return loads
+            return base + [candidate]
+        return list(base)
 
     def evaluate(
         self, candidate: Optional[ConnectionLoad]
     ) -> Optional[Dict[str, DelayReport]]:
         """Delays of all connections (plus ``candidate``), or None if any
         stage is unstable / overflows a buffer (infinite worst-case delay)."""
+        loads = self._loads_with(candidate)
         try:
-            return self.analyzer.compute(self._loads_with(candidate))
+            if self.engine is not None:
+                return self.engine.compute(loads)
+            return self.analyzer.compute(loads)
         except (UnstableSystemError, BufferOverflowError):
             return None
 
@@ -127,15 +148,20 @@ class AdmissionController:
         """Run the CAC for ``spec``; on success the allocation is recorded.
 
         Every decision (admitted or not) is appended to :attr:`history`.
+        Counting happens *after* the decision returns: a request that
+        raises (duplicate id, no route, degraded topology) never reaches
+        :attr:`history` and must not inflate the AP denominator either.
         """
         result = self._decide(spec)
+        self.n_requests += 1
+        if result.admitted:
+            self.n_admitted += 1
         self.history.append((spec.conn_id, result))
         if len(self.history) > self.history_limit:
             del self.history[: len(self.history) // 2]
         return result
 
     def _decide(self, spec: ConnectionSpec) -> AdmissionResult:
-        self.n_requests += 1
         if spec.conn_id in self.connections:
             raise ConfigurationError(f"connection {spec.conn_id!r} already active")
         route = compute_route(self.topology, spec.source_host, spec.dest_host)
@@ -165,6 +191,7 @@ class AdmissionController:
                 admitted=False,
                 reason="infeasible even at maximum available allocation",
                 h_max_avail=(h_max_s, h_max_r),
+                n_probes=1,
             )
 
         probe_cache: Dict[Tuple[float, float], object] = {}
@@ -187,11 +214,14 @@ class AdmissionController:
             ttrt=ring_s.ttrt,
         )
         choice = self.policy.select(ctx)
+        ctx.n_probes = len(probe_cache)
+        n_probes = 1 + len(probe_cache)
         if choice is None:
             return AdmissionResult(
                 admitted=False,
                 reason="allocation policy found no acceptable point",
                 h_max_avail=(h_max_s, h_max_r),
+                n_probes=n_probes,
             )
         (h_s, h_r), reports = choice
 
@@ -213,10 +243,10 @@ class AdmissionController:
                 ring_s.release(spec.conn_id)
                 raise
         self.connections[spec.conn_id] = record
+        self._active_loads = None
         # Refresh every existing record's bound under the new load.
         for conn_id, report in reports.items():
             self.connections[conn_id].delay_bound = report.total_delay
-        self.n_admitted += 1
         return AdmissionResult(
             admitted=True,
             reason="admitted",
@@ -225,17 +255,45 @@ class AdmissionController:
             h_max_need=ctx.observed_max_need,
             h_max_avail=(h_max_s, h_max_r),
             delay_bound=record.delay_bound,
+            n_probes=n_probes,
         )
 
     def release(self, conn_id: str) -> ConnectionRecord:
-        """Tear down a connection and free its synchronous bandwidth."""
+        """Tear down a connection and free its synchronous bandwidth.
+
+        The survivors' recorded ``delay_bound``s are refreshed: removing
+        load can only tighten the fixed point, and callers that read the
+        records directly (metrics, failover reports, the fault audit)
+        would otherwise see the stale pre-departure bounds.
+        """
         if conn_id not in self.connections:
             raise ConfigurationError(f"unknown connection {conn_id!r}")
         record = self.connections.pop(conn_id)
+        self._active_loads = None
         self.topology.rings[record.route.source_ring].release(conn_id)
         if record.route.crosses_backbone:
             self.topology.rings[record.route.dest_ring].release(conn_id)
+        self._refresh_bounds()
         return record
+
+    def _refresh_bounds(self) -> None:
+        """Recompute every surviving record's delay bound.
+
+        With the incremental engine this touches only the departed
+        connection's interference component.  If the surviving set has no
+        finite bound (cannot happen from a pure release, but a caller may
+        have degraded the topology first), the stale bounds are invalidated
+        rather than silently kept.
+        """
+        if not self.connections:
+            return
+        reports = self.evaluate(None)
+        if reports is None:
+            for rec in self.connections.values():
+                rec.delay_bound = None
+            return
+        for conn_id, report in reports.items():
+            self.connections[conn_id].delay_bound = report.total_delay
 
     def audit_allocations(self) -> Dict[str, float]:
         """Per-ring discrepancy: ledger total minus recorded allocations.

@@ -18,6 +18,7 @@ delay is infinite" — automatic infeasibility.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -112,6 +113,93 @@ class ResourceUsage:
     )
 
 
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    The previous policy — ``clear()`` everything past the limit — meant one
+    long sweep point crossing the threshold silently reverted every later
+    probe to cold-cache cost.  LRU eviction keeps the hot working set
+    resident; hit/miss/eviction counters feed the cache-health regression
+    tests and the bench report.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError("LRU cache needs a positive size")
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "collections.OrderedDict" = collections.OrderedDict()
+
+    def get(self, key, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        while len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def route_port_names(topology: NetworkTopology, route: Route) -> Tuple[str, ...]:
+    """Names of the shared (ATM output-port) stages along ``route``.
+
+    This is the route's interference footprint: two connections can affect
+    each other's delay analysis only through ports both traverse.  Must
+    mirror the SharedStage placement of :meth:`DelayAnalyzer.build_stages`.
+    """
+    if not route.crosses_backbone:
+        return ()
+    src_dev = topology.devices[route.source_device]
+    names = [src_dev.uplink_port.name]
+    path = route.switch_path
+    for idx, switch_id in enumerate(path):
+        if idx + 1 < len(path):
+            names.append(topology.switch_port(switch_id, path[idx + 1]).name)
+        else:
+            names.append(
+                topology.downlink_port(switch_id, route.dest_device).name
+            )
+    return tuple(names)
+
+
 class DelayAnalyzer:
     """Builds server chains and computes worst-case end-to-end delays."""
 
@@ -127,10 +215,32 @@ class DelayAnalyzer:
         #: Cache of dedicated-stage analyses keyed by (server key, envelope
         #: fingerprint) — hit heavily by binary-search probes, where most
         #: connections' upstream stages are unchanged.
-        self._stage_cache: Dict[tuple, object] = {}
-        self._stage_cache_limit = 20_000
+        self._stage_cache = LRUCache(self.analysis.stage_cache_size)
         #: Cache of source envelopes keyed by the traffic descriptor.
-        self._envelope_cache: Dict[object, Curve] = {}
+        self._envelope_cache = LRUCache(self.analysis.stage_cache_size)
+        #: Cache of whole dedicated-stage *runs* keyed by (segment servers,
+        #: input-envelope fingerprint).  A hit replays the per-stage delays
+        #: and the final tidied envelope without touching any server — the
+        #: dominant cost of a repeat probe is otherwise the per-stage walk
+        #: (fingerprints, simplify/coarsen) even when every stage hits the
+        #: stage cache.
+        self._segment_cache = LRUCache(self.analysis.stage_cache_size)
+        #: Cache of built server chains keyed by everything the chain
+        #: depends on (route, grants, regulator, topology version) — the
+        #: chain does *not* depend on the traffic descriptor, so this key
+        #: is always hashable.  Holding the chain also keeps the segment
+        #: run structure (precomputed server keys) from being rebuilt on
+        #: every probe.
+        self._chain_cache = LRUCache(self.analysis.stage_cache_size)
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss/eviction counters of the analyzer's internal caches."""
+        return {
+            "stage": self._stage_cache.stats(),
+            "envelope": self._envelope_cache.stats(),
+            "segment": self._segment_cache.stats(),
+            "chain": self._chain_cache.stats(),
+        }
 
     # ------------------------------------------------------------------
     # Stage construction
@@ -266,19 +376,64 @@ class DelayAnalyzer:
         ]
         return stages
 
+    def _chain_for(self, load: ConnectionLoad) -> Tuple[List[Stage], Dict[int, tuple]]:
+        """The (cached) server chain for ``load`` plus its segment runs.
+
+        ``runs`` maps the index of each maximal dedicated run's first stage
+        to ``(end_index, seg_keys)``; ``seg_keys`` is ``None`` when any
+        server in the run refuses memoization.  Servers are stateless
+        analyzers, so reusing the chain across computations is safe; the
+        topology version in the key retires chains built against a network
+        that has since mutated.
+        """
+        route = load.route
+        reg = load.regulator
+        key = (
+            load.spec.conn_id,
+            route.source_ring,
+            route.dest_ring,
+            route.source_device,
+            route.dest_device,
+            tuple(route.switch_path),
+            float(load.h_source),
+            float(load.h_dest),
+            None if reg is None else (reg.sigma, reg.rho, reg.peak),
+            self.topology.change_count,
+        )
+        hit = self._chain_cache.get(key)
+        if hit is not None:
+            return hit
+        stages = self.build_stages(load)
+        runs: Dict[int, tuple] = {}
+        i, n = 0, len(stages)
+        while i < n:
+            if isinstance(stages[i], DedicatedStage):
+                j = i
+                seg_keys: List[object] = []
+                while j < n and isinstance(stages[j], DedicatedStage):
+                    seg_keys.append(stages[j].server.cache_key())
+                    j += 1
+                runs[i] = (j, None if None in seg_keys else tuple(seg_keys))
+                i = j
+            else:
+                i += 1
+        value = (stages, runs)
+        self._chain_cache.put(key, value)
+        return value
+
     # ------------------------------------------------------------------
     # Envelope propagation
     # ------------------------------------------------------------------
 
     def source_envelope(self, spec: ConnectionSpec) -> Curve:
         """The connection's envelope at the entrance of its source MAC."""
-        cached = self._envelope_cache.get(spec.traffic)
+        try:
+            cached = self._envelope_cache.get(spec.traffic)
+        except TypeError:
+            return spec.traffic.envelope(self.analysis.envelope_horizon)
         if cached is None:
             cached = spec.traffic.envelope(self.analysis.envelope_horizon)
-            try:
-                self._envelope_cache[spec.traffic] = cached
-            except TypeError:
-                pass  # unhashable descriptor: skip caching
+            self._envelope_cache.put(spec.traffic, cached)
         return cached
 
     def _tidy(self, envelope: Curve) -> Curve:
@@ -297,10 +452,57 @@ class DelayAnalyzer:
         if hit is not None:
             return hit
         result = server.analyze(envelope)
-        if len(self._stage_cache) > self._stage_cache_limit:
-            self._stage_cache.clear()
-        self._stage_cache[key] = result
+        self._stage_cache.put(key, result)
         return result
+
+    def _advance_dedicated(self, st: "_ConnState") -> bool:
+        """Advance ``st`` through its next maximal run of dedicated stages.
+
+        The whole run is memoized as one unit: for a given tuple of server
+        behaviours and a given input envelope, the per-stage delay/backlog
+        bounds and the final (tidied) output envelope are fully determined,
+        so a repeat probe replays them from the segment cache in O(1)
+        instead of re-walking every stage.  Stage *names* are taken from
+        the live stages, so connections that share server behaviour still
+        report their own hop labels.
+        """
+        stages = st.stages
+        start = st.idx
+        run = st.runs.get(start)
+        if run is None:
+            return False
+        end, seg_keys = run
+        seg = stages[start:end]
+        cacheable = seg_keys is not None
+        if cacheable:
+            key = (seg_keys, st.envelope.fingerprint())
+            hit = self._segment_cache.get(key)
+            if hit is not None:
+                delays, backlogs, out_env = hit
+                for stage, d, b in zip(seg, delays, backlogs):
+                    st.total += d
+                    st.hops.append((stage.name, d))
+                    st.hop_backlogs.append((stage.name, b))
+                st.envelope = out_env
+                st.idx = end
+                return True
+        delays = []
+        backlogs = []
+        env = st.envelope
+        for stage in seg:
+            result = self._analyze_dedicated(stage, st.load, env)
+            delays.append(result.delay_bound)
+            backlogs.append(result.backlog_bound)
+            env = self._tidy(result.output)
+        if cacheable:
+            self._segment_cache.put(key, (tuple(delays), tuple(backlogs), env))
+        for stage, d, b in zip(seg, delays, backlogs):
+            st.total += d
+            st.hops.append((stage.name, d))
+            st.hop_backlogs.append((stage.name, b))
+        st.envelope = env
+        st.idx = end
+        return True
 
     def _analyze_port_cached(self, port, envelopes: Dict[int, Curve]):
         """Memoized FIFO-port analysis.
@@ -314,13 +516,30 @@ class DelayAnalyzer:
         cache_key = (port.name, tuple(sorted(fps.values())))
         hit = self._stage_cache.get(cache_key)
         if hit is None:
-            delay, backlog, busy, outputs = _analyze_port(
+            delay, backlog, busy, shift = _analyze_port(
                 port, envelopes, delay_quantum=self.analysis.output_delay_quantum
             )
-            by_fp = {fps[key]: out for key, out in outputs.items()}
-            if len(self._stage_cache) > self._stage_cache_limit:
-                self._stage_cache.clear()
-            self._stage_cache[cache_key] = (delay, backlog, busy, by_fp)
+            # Per-member outputs are memoized on (rate, envelope, shift):
+            # the quantized shift takes few distinct values across a binary
+            # search, and most members' envelopes are unchanged between
+            # probes, so only genuinely new (envelope, shift) pairs pay for
+            # the shift-and-cap curve algebra.  Outputs are stored already
+            # tidied so repeat probes skip the simplify/coarsen pass too.
+            rate = port.service_rate
+            by_fp: Dict[int, Curve] = {}
+            for key, env in envelopes.items():
+                fp = fps[key]
+                if fp in by_fp:
+                    continue
+                out_key = ("port-out", rate, fp, shift)
+                out = self._stage_cache.get(out_key)
+                if out is None:
+                    out = self._tidy(
+                        env.shift_left(shift).minimum(Curve.affine(0.0, rate))
+                    )
+                    self._stage_cache.put(out_key, out)
+                by_fp[fp] = out
+            self._stage_cache.put(cache_key, (delay, backlog, busy, by_fp))
         else:
             delay, backlog, busy, by_fp = hit
         outputs = {key: by_fp[fp] for key, fp in fps.items()}
@@ -343,11 +562,12 @@ class DelayAnalyzer:
         (port backlogs/busy intervals) needed for buffer dimensioning."""
         states = []
         for load in loads:
-            stages = self.build_stages(load)
+            stages, runs = self._chain_for(load)
             states.append(
                 _ConnState(
                     load=load,
                     stages=stages,
+                    runs=runs,
                     envelope=self.source_envelope(load.spec),
                 )
             )
@@ -363,70 +583,57 @@ class DelayAnalyzer:
         port_delays: Dict[str, float] = {}
         port_inputs: Dict[str, Dict[str, Curve]] = {}
 
-        def advance_dedicated(st: "_ConnState") -> bool:
-            moved = False
-            while st.idx < len(st.stages) and isinstance(
-                st.stages[st.idx], DedicatedStage
-            ):
-                stage = st.stages[st.idx]
-                result = self._analyze_dedicated(stage, st.load, st.envelope)
-                st.total += result.delay_bound
-                st.hops.append((stage.name, result.delay_bound))
-                st.hop_backlogs.append((stage.name, result.backlog_bound))
-                st.envelope = self._tidy(result.output)
-                st.idx += 1
-                moved = True
-            return moved
+        # Event-driven worklist: each connection advances through dedicated
+        # runs until it lands on a shared port; a port is analyzed the
+        # moment its last traverser lands (the feed-forward condition), and
+        # its members then advance further.  O(chain hops) total, instead
+        # of rescanning every pending connection per round.
+        landed: Dict[str, int] = {}
+        ready: List[str] = []
+        remaining = len(states)
 
-        pending = set(range(len(states)))
-        while pending:
-            progress = False
-            for i in list(pending):
-                st = states[i]
-                if advance_dedicated(st):
-                    progress = True
-                if st.idx >= len(st.stages):
-                    pending.discard(i)
-            # Analyze every shared port whose traversers have all arrived.
-            ports_ready: Dict[str, SharedStage] = {}
-            for i in pending:
-                st = states[i]
-                if st.idx < len(st.stages):
-                    stage = st.stages[st.idx]
-                    if isinstance(stage, SharedStage):
-                        group = traversers[stage.port.name]
-                        if all(
-                            g.idx < len(g.stages)
-                            and g.stages[g.idx] is not None
-                            and isinstance(g.stages[g.idx], SharedStage)
-                            and g.stages[g.idx].port.name == stage.port.name
-                            for g in group
-                        ):
-                            ports_ready[stage.port.name] = stage
-            for port_name, stage in ports_ready.items():
-                group = traversers[port_name]
-                envelopes = {id(g): g.envelope for g in group}
-                delay, backlog, busy, outputs = self._analyze_port_cached(
-                    stage.port, envelopes
-                )
-                port_backlogs[port_name] = backlog
-                port_busy[port_name] = busy
-                port_delays[port_name] = delay
-                port_inputs[port_name] = {
-                    g.load.spec.conn_id: g.envelope for g in group
-                }
-                for g in group:
-                    g.total += delay
-                    g.hops.append((stage.name, delay))
-                    g.envelope = self._tidy(outputs[id(g)])
-                    g.idx += 1
-                progress = True
-            if not progress and pending:
-                stuck = [states[i].load.spec.conn_id for i in pending]
-                raise CyclicDependencyError(
-                    "shared-port dependencies are not feed-forward; stuck "
-                    f"connections: {stuck}"
-                )
+        def _land(st: "_ConnState") -> None:
+            nonlocal remaining
+            self._advance_dedicated(st)
+            if st.idx < len(st.stages):
+                name = st.stages[st.idx].port.name
+                count = landed.get(name, 0) + 1
+                landed[name] = count
+                if count == len(traversers[name]):
+                    ready.append(name)
+            else:
+                remaining -= 1
+
+        for st in states:
+            _land(st)
+        while ready:
+            port_name = ready.pop()
+            group = traversers[port_name]
+            stage = group[0].stages[group[0].idx]
+            envelopes = {id(g): g.envelope for g in group}
+            delay, backlog, busy, outputs = self._analyze_port_cached(
+                stage.port, envelopes
+            )
+            port_backlogs[port_name] = backlog
+            port_busy[port_name] = busy
+            port_delays[port_name] = delay
+            port_inputs[port_name] = {
+                g.load.spec.conn_id: g.envelope for g in group
+            }
+            for g in group:
+                g.total += delay
+                g.hops.append((stage.name, delay))
+                # Port outputs come back tidied from the cache.
+                g.envelope = outputs[id(g)]
+                g.idx += 1
+            for g in group:
+                _land(g)
+        if remaining:
+            stuck = [st.load.spec.conn_id for st in states if st.idx < len(st.stages)]
+            raise CyclicDependencyError(
+                "shared-port dependencies are not feed-forward; stuck "
+                f"connections: {stuck}"
+            )
 
         reports = {
             st.load.spec.conn_id: DelayReport(
@@ -451,6 +658,7 @@ class DelayAnalyzer:
 class _ConnState:
     load: ConnectionLoad
     stages: List[Stage]
+    runs: Dict[int, tuple]
     envelope: Curve
     idx: int = 0
     total: float = 0.0
@@ -463,10 +671,11 @@ def _analyze_port(
 ):
     """Analyze a FIFO port once for all its participants.
 
-    Returns ``(delay, backlog, busy_interval, outputs_by_key)``.  Every
-    participant shares the aggregate FIFO delay bound; each gets its own
-    output envelope (its input advanced by the delay — rounded up to
-    ``delay_quantum``, which is conservative — capped at link rate).
+    Returns ``(delay, backlog, busy_interval, shift)``.  Every participant
+    shares the aggregate FIFO delay bound; its output envelope is its input
+    advanced by ``shift`` (the delay rounded up to ``delay_quantum``, which
+    is conservative) capped at link rate — computed by the caller so equal
+    envelopes can share one output.
     """
     from repro.envelopes.curve import sum_curves
     from repro.envelopes.operations import (
@@ -500,8 +709,4 @@ def _analyze_port(
         shift = math.ceil(delay / delay_quantum - 1e-12) * delay_quantum
     else:
         shift = delay
-    cap = Curve.affine(0.0, port.service_rate)
-    outputs = {
-        key: env.shift_left(shift).minimum(cap) for key, env in envelopes.items()
-    }
-    return delay, backlog, busy, outputs
+    return delay, backlog, busy, shift

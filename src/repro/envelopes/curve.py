@@ -369,7 +369,11 @@ class Curve:
         new_ys[-1] = self.ys[idx[-1]]
         new_slopes[-1] = self.slopes[idx[-1]]
         ys_arr = np.maximum.accumulate(new_ys)
-        return Curve(new_xs, ys_arr, new_slopes, validate=False).simplify()
+        # Merge only *exactly* collinear breakpoints (tol=0): a tolerant
+        # simplify may absorb the final segment's small positive slope into
+        # a flat predecessor, and the coarse curve would eventually dip
+        # below the original — breaking the domination contract.
+        return Curve(new_xs, ys_arr, new_slopes, validate=False).simplify(tol=0.0)
 
     # ------------------------------------------------------------------
     # Comparison helpers

@@ -57,16 +57,27 @@ def main(argv=None) -> int:
         default=None,
         help="also write the figure series as CSV into DIR",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sweep points over N worker processes (results are "
+        "bit-identical to a serial run; default 1)",
+    )
     args = parser.parse_args(argv)
     settings = build_settings(args)
+    jobs = args.jobs
 
     runners = {
-        "figure7": lambda: figure7.main(settings, csv_dir=args.csv),
-        "figure8": lambda: figure8.main(settings, csv_dir=args.csv),
+        "figure7": lambda: figure7.main(settings, csv_dir=args.csv, jobs=jobs),
+        "figure8": lambda: figure8.main(settings, csv_dir=args.csv, jobs=jobs),
         "validation": lambda: validation.main(),
-        "ablation-policies": lambda: ablations.main_policies(settings),
-        "ablation-workload": lambda: ablations.main_workload(settings),
-        "survivability": lambda: survivability.main(settings, csv_dir=args.csv),
+        "ablation-policies": lambda: ablations.main_policies(settings, jobs=jobs),
+        "ablation-workload": lambda: ablations.main_workload(settings, jobs=jobs),
+        "survivability": lambda: survivability.main(
+            settings, csv_dir=args.csv, jobs=jobs
+        ),
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     for name in names:

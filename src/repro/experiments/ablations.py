@@ -22,7 +22,8 @@ from repro.experiments.common import (
     format_table,
     mean_and_spread,
 )
-from repro.sim.connection_sim import ConnectionSimConfig, ConnectionSimulator
+from repro.experiments.parallel import SimTask, run_sims
+from repro.sim.connection_sim import ConnectionSimConfig
 from repro.traffic.generators import WorkloadSpec
 
 
@@ -54,30 +55,38 @@ def run_policy_ablation(
     settings: Optional[ExperimentSettings] = None,
     utilizations: Sequence[float] = (0.3, 0.9),
     variants: Sequence[PolicyVariant] = POLICY_VARIANTS,
+    jobs: int = 1,
 ) -> List[SeriesResult]:
     """AP per policy variant at light and heavy load."""
     settings = settings or ExperimentSettings()
     sim_cfg = settings.simulation_config()
+    # Policies are instantiated here (one fresh instance per run, exactly
+    # as the serial loop did) so only picklable objects enter the tasks —
+    # a closure in make_policy never crosses the process boundary.
+    tasks = [
+        SimTask(
+            ConnectionSimConfig(
+                utilization=u,
+                beta=0.5,
+                seed=seed,
+                n_requests=settings.n_requests,
+                warmup_requests=settings.warmup_requests,
+                network=settings.network,
+                simulation=sim_cfg,
+                cac=variant.cac_config,
+            ),
+            policy=variant.make_policy() if variant.make_policy else None,
+        )
+        for variant in variants
+        for u in utilizations
+        for seed in settings.seeds
+    ]
+    results = iter(run_sims(tasks, jobs=jobs))
     series: List[SeriesResult] = []
     for variant in variants:
         s = SeriesResult(label=variant.name)
         for u in utilizations:
-            aps = []
-            for seed in settings.seeds:
-                cfg = ConnectionSimConfig(
-                    utilization=u,
-                    beta=0.5,
-                    seed=seed,
-                    n_requests=settings.n_requests,
-                    warmup_requests=settings.warmup_requests,
-                    network=settings.network,
-                    simulation=sim_cfg,
-                    cac=variant.cac_config,
-                )
-                policy = variant.make_policy() if variant.make_policy else None
-                aps.append(
-                    ConnectionSimulator(cfg, policy=policy).run().admission_probability
-                )
+            aps = [next(results).admission_probability for _ in settings.seeds]
             mean, spread = mean_and_spread(aps)
             s.add(u, mean, spread)
         series.append(s)
@@ -116,48 +125,65 @@ def run_workload_ablation(
     utilization: float = 0.6,
     deadline_scales: Sequence[float] = (0.75, 1.0, 1.5, 2.0),
     burst_ratios: Sequence[float] = (1.0, 1.5, 2.0),
+    jobs: int = 1,
 ) -> Dict[str, List[SeriesResult]]:
     """AP vs deadline tightness and vs burstiness at fixed load."""
     settings = settings or ExperimentSettings()
     scale = settings.simulation_config().load_scale
 
-    def run_one(workload: WorkloadSpec, seed: int) -> float:
+    def task_for(workload: WorkloadSpec, seed: int) -> SimTask:
         sim_cfg = SimulationConfig(workload=workload, load_scale=scale)
-        cfg = ConnectionSimConfig(
-            utilization=utilization,
-            beta=0.5,
-            seed=seed,
-            n_requests=settings.n_requests,
-            warmup_requests=settings.warmup_requests,
-            network=settings.network,
-            simulation=sim_cfg,
+        return SimTask(
+            ConnectionSimConfig(
+                utilization=utilization,
+                beta=0.5,
+                seed=seed,
+                n_requests=settings.n_requests,
+                warmup_requests=settings.warmup_requests,
+                network=settings.network,
+                simulation=sim_cfg,
+            )
         )
-        return ConnectionSimulator(cfg).run().admission_probability
+
+    tasks = [
+        task_for(_workload(deadline_scale=ds), seed)
+        for ds in deadline_scales
+        for seed in settings.seeds
+    ] + [
+        task_for(_workload(burst_ratio=br), seed)
+        for br in burst_ratios
+        for seed in settings.seeds
+    ]
+    results = iter(run_sims(tasks, jobs=jobs))
 
     deadline_series = SeriesResult(label=f"AP (U={utilization:g})")
     for ds in deadline_scales:
-        aps = [run_one(_workload(deadline_scale=ds), seed) for seed in settings.seeds]
+        aps = [next(results).admission_probability for _ in settings.seeds]
         mean, spread = mean_and_spread(aps)
         deadline_series.add(ds, mean, spread)
 
     burst_series = SeriesResult(label=f"AP (U={utilization:g})")
     for br in burst_ratios:
-        aps = [run_one(_workload(burst_ratio=br), seed) for seed in settings.seeds]
+        aps = [next(results).admission_probability for _ in settings.seeds]
         mean, spread = mean_and_spread(aps)
         burst_series.add(br, mean, spread)
 
     return {"deadline": [deadline_series], "burstiness": [burst_series]}
 
 
-def main_policies(settings: Optional[ExperimentSettings] = None) -> str:
-    series = run_policy_ablation(settings)
+def main_policies(
+    settings: Optional[ExperimentSettings] = None, jobs: int = 1
+) -> str:
+    series = run_policy_ablation(settings, jobs=jobs)
     out = ["E4 — Allocation-policy ablation (AP by backbone load)", ""]
     out.append(format_table("U", series))
     return "\n".join(out)
 
 
-def main_workload(settings: Optional[ExperimentSettings] = None) -> str:
-    results = run_workload_ablation(settings)
+def main_workload(
+    settings: Optional[ExperimentSettings] = None, jobs: int = 1
+) -> str:
+    results = run_workload_ablation(settings, jobs=jobs)
     out = ["E5 — Workload sensitivity at U=0.6, beta=0.5", ""]
     out.append("Deadline scale sweep (1.0 = paper-default 40-100 ms):")
     out.append(format_table("scale", results["deadline"]))

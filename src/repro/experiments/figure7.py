@@ -16,7 +16,8 @@ from repro.experiments.common import (
     format_table,
     mean_and_spread,
 )
-from repro.sim.connection_sim import ConnectionSimConfig, ConnectionSimulator
+from repro.experiments.parallel import SimTask, run_sims
+from repro.sim.connection_sim import ConnectionSimConfig
 
 #: The paper's loading conditions.
 UTILIZATIONS = (0.3, 0.6, 0.9)
@@ -28,26 +29,33 @@ def run_figure7(
     settings: Optional[ExperimentSettings] = None,
     utilizations: Sequence[float] = UTILIZATIONS,
     betas: Sequence[float] = BETAS,
+    jobs: int = 1,
 ) -> List[SeriesResult]:
     """Regenerate the Figure 7 series (one per utilization)."""
     settings = settings or ExperimentSettings()
     sim_cfg = settings.simulation_config()
+    tasks = [
+        SimTask(
+            ConnectionSimConfig(
+                utilization=u,
+                beta=beta,
+                seed=seed,
+                n_requests=settings.n_requests,
+                warmup_requests=settings.warmup_requests,
+                network=settings.network,
+                simulation=sim_cfg,
+            )
+        )
+        for u in utilizations
+        for beta in betas
+        for seed in settings.seeds
+    ]
+    results = iter(run_sims(tasks, jobs=jobs))
     series: List[SeriesResult] = []
     for u in utilizations:
         s = SeriesResult(label=f"U={u:g}")
         for beta in betas:
-            aps = []
-            for seed in settings.seeds:
-                cfg = ConnectionSimConfig(
-                    utilization=u,
-                    beta=beta,
-                    seed=seed,
-                    n_requests=settings.n_requests,
-                    warmup_requests=settings.warmup_requests,
-                    network=settings.network,
-                    simulation=sim_cfg,
-                )
-                aps.append(ConnectionSimulator(cfg).run().admission_probability)
+            aps = [next(results).admission_probability for _ in settings.seeds]
             mean, spread = mean_and_spread(aps)
             s.add(beta, mean, spread)
         series.append(s)
@@ -55,9 +63,11 @@ def run_figure7(
 
 
 def main(
-    settings: Optional[ExperimentSettings] = None, csv_dir: Optional[str] = None
+    settings: Optional[ExperimentSettings] = None,
+    csv_dir: Optional[str] = None,
+    jobs: int = 1,
 ) -> str:
-    series = run_figure7(settings)
+    series = run_figure7(settings, jobs=jobs)
     out = ["Figure 7 — Admission probability vs beta", ""]
     out.append(format_table("beta", series))
     if csv_dir:

@@ -15,7 +15,8 @@ from repro.experiments.common import (
     format_table,
     mean_and_spread,
 )
-from repro.sim.connection_sim import ConnectionSimConfig, ConnectionSimulator
+from repro.experiments.parallel import SimTask, run_sims
+from repro.sim.connection_sim import ConnectionSimConfig
 
 #: The beta values of Figure 8.
 BETAS = (0.0, 0.5, 1.0)
@@ -27,26 +28,33 @@ def run_figure8(
     settings: Optional[ExperimentSettings] = None,
     betas: Sequence[float] = BETAS,
     utilizations: Sequence[float] = UTILIZATIONS,
+    jobs: int = 1,
 ) -> List[SeriesResult]:
     """Regenerate the Figure 8 series (one per beta)."""
     settings = settings or ExperimentSettings()
     sim_cfg = settings.simulation_config()
+    tasks = [
+        SimTask(
+            ConnectionSimConfig(
+                utilization=u,
+                beta=beta,
+                seed=seed,
+                n_requests=settings.n_requests,
+                warmup_requests=settings.warmup_requests,
+                network=settings.network,
+                simulation=sim_cfg,
+            )
+        )
+        for beta in betas
+        for u in utilizations
+        for seed in settings.seeds
+    ]
+    results = iter(run_sims(tasks, jobs=jobs))
     series: List[SeriesResult] = []
     for beta in betas:
         s = SeriesResult(label=f"beta={beta:g}")
         for u in utilizations:
-            aps = []
-            for seed in settings.seeds:
-                cfg = ConnectionSimConfig(
-                    utilization=u,
-                    beta=beta,
-                    seed=seed,
-                    n_requests=settings.n_requests,
-                    warmup_requests=settings.warmup_requests,
-                    network=settings.network,
-                    simulation=sim_cfg,
-                )
-                aps.append(ConnectionSimulator(cfg).run().admission_probability)
+            aps = [next(results).admission_probability for _ in settings.seeds]
             mean, spread = mean_and_spread(aps)
             s.add(u, mean, spread)
         series.append(s)
@@ -54,9 +62,11 @@ def run_figure8(
 
 
 def main(
-    settings: Optional[ExperimentSettings] = None, csv_dir: Optional[str] = None
+    settings: Optional[ExperimentSettings] = None,
+    csv_dir: Optional[str] = None,
+    jobs: int = 1,
 ) -> str:
-    series = run_figure8(settings)
+    series = run_figure8(settings, jobs=jobs)
     out = ["Figure 8 — Admission probability vs system load", ""]
     out.append(format_table("U", series))
     if csv_dir:

@@ -27,9 +27,10 @@ from repro.experiments.common import (
     format_table,
     mean_and_spread,
 )
+from repro.experiments.parallel import SimTask, run_sims
 from repro.faults.injector import FaultConfig
 from repro.faults.retry import RetryPolicy
-from repro.sim.connection_sim import ConnectionSimConfig, ConnectionSimulator
+from repro.sim.connection_sim import ConnectionSimConfig
 
 #: Load sweep (same axis as Figure 8).
 UTILIZATIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
@@ -50,18 +51,13 @@ def run_survivability(
     utilizations: Sequence[float] = UTILIZATIONS,
     faults: FaultConfig = DEFAULT_FAULTS,
     retry: RetryPolicy = DEFAULT_RETRY,
+    jobs: int = 1,
 ) -> Tuple[List[SeriesResult], List[str]]:
     """Run the sweep; returns (series, audit failure descriptions)."""
     settings = settings or ExperimentSettings()
     sim_cfg = settings.simulation_config()
-    ap_clean = SeriesResult(label="AP no-faults")
-    ap_faults = SeriesResult(label="AP faults")
-    survival = SeriesResult(label="survival")
-    ttr = SeriesResult(label="mean TTR (s)")
-    retries = SeriesResult(label="retries/reconnect")
-    audit_failures: List[str] = []
+    tasks = []
     for u in utilizations:
-        aps_clean, aps_faulty, survs, ttrs, rtr = [], [], [], [], []
         for seed in settings.seeds:
             base = dict(
                 utilization=u,
@@ -72,11 +68,23 @@ def run_survivability(
                 network=settings.network,
                 simulation=sim_cfg,
             )
-            clean = ConnectionSimulator(ConnectionSimConfig(**base)).run()
+            tasks.append(SimTask(ConnectionSimConfig(**base)))
+            tasks.append(
+                SimTask(ConnectionSimConfig(**base, faults=faults, retry=retry))
+            )
+    results = iter(run_sims(tasks, jobs=jobs))
+    ap_clean = SeriesResult(label="AP no-faults")
+    ap_faults = SeriesResult(label="AP faults")
+    survival = SeriesResult(label="survival")
+    ttr = SeriesResult(label="mean TTR (s)")
+    retries = SeriesResult(label="retries/reconnect")
+    audit_failures: List[str] = []
+    for u in utilizations:
+        aps_clean, aps_faulty, survs, ttrs, rtr = [], [], [], [], []
+        for seed in settings.seeds:
+            clean = next(results)
             aps_clean.append(clean.admission_probability)
-            faulty = ConnectionSimulator(
-                ConnectionSimConfig(**base, faults=faults, retry=retry)
-            ).run()
+            faulty = next(results)
             aps_faulty.append(faulty.admission_probability)
             sv = faulty.survivability
             if sv.n_resolved:
@@ -102,8 +110,9 @@ def main(
     settings: Optional[ExperimentSettings] = None,
     csv_dir: Optional[str] = None,
     utilizations: Sequence[float] = UTILIZATIONS,
+    jobs: int = 1,
 ) -> str:
-    series, audit_failures = run_survivability(settings, utilizations)
+    series, audit_failures = run_survivability(settings, utilizations, jobs=jobs)
     ap_series, aux_series = series[:3], series[3:]
     out = [
         "Survivability — admission and recovery under link faults "

@@ -55,6 +55,10 @@ class NetworkTopology:
         self._failed_links: set = set()
         #: Switches / interface devices currently down (routing avoids them).
         self._failed_nodes: set = set()
+        #: Monotonic mutation counter, bumped on every structural edit or
+        #: fail/restore.  Derived caches (e.g. the incremental delay
+        #: engine) compare it to decide whether their snapshots are stale.
+        self.change_count = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -64,6 +68,7 @@ class NetworkTopology:
         if ring.ring_id in self.rings:
             raise TopologyError(f"ring {ring.ring_id!r} already exists")
         self.rings[ring.ring_id] = ring
+        self.change_count += 1
         return ring
 
     def add_host(self, host_id: str, ring_id: str) -> Host:
@@ -73,6 +78,7 @@ class NetworkTopology:
             raise TopologyError(f"unknown ring {ring_id!r}")
         host = Host(host_id, ring_id)
         self.hosts[host_id] = host
+        self.change_count += 1
         return host
 
     def add_switch(self, switch: AtmSwitch) -> AtmSwitch:
@@ -80,6 +86,7 @@ class NetworkTopology:
             raise TopologyError(f"switch {switch.switch_id!r} already exists")
         self.switches[switch.switch_id] = switch
         self._backbone.add_node(switch.switch_id)
+        self.change_count += 1
         return switch
 
     def add_device(
@@ -120,6 +127,7 @@ class NetworkTopology:
         self.ring_device[device.ring_id] = device.device_id
         self.device_switch[device.device_id] = switch_id
         self._downlinks[(switch_id, device.device_id)] = downlink
+        self.change_count += 1
         return device
 
     def connect_switches(
@@ -142,6 +150,7 @@ class NetworkTopology:
             )
             self.switches[src].attach_link(link)
             self._switch_links[(src, dst)] = link
+            self.change_count += 1
             self._backbone.add_edge(src, dst, weight=propagation_delay + 1.0)
 
     # ------------------------------------------------------------------
@@ -198,6 +207,7 @@ class NetworkTopology:
             if (src, dst) in self._failed_links:
                 continue
             self._failed_links.add((src, dst))
+            self.change_count += 1
             if self._backbone.has_edge(src, dst):
                 self._backbone.remove_edge(src, dst)
 
@@ -216,6 +226,7 @@ class NetworkTopology:
             if (src, dst) not in self._failed_links:
                 continue
             self._failed_links.discard((src, dst))
+            self.change_count += 1
             if src not in self._failed_nodes and dst not in self._failed_nodes:
                 link = self._switch_links[(src, dst)]
                 self._backbone.add_edge(
@@ -243,6 +254,7 @@ class NetworkTopology:
         if node_id in self._failed_nodes:
             return
         self._failed_nodes.add(node_id)
+        self.change_count += 1
         if node_id in self.switches:
             for src, dst in self._switch_links:
                 if node_id in (src, dst) and self._backbone.has_edge(src, dst):
@@ -259,6 +271,7 @@ class NetworkTopology:
         if node_id not in self._failed_nodes:
             return
         self._failed_nodes.discard(node_id)
+        self.change_count += 1
         if node_id in self.switches:
             for (src, dst), link in self._switch_links.items():
                 if (
