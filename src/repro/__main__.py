@@ -26,6 +26,7 @@ from repro.core import AdmissionController, ConnectionLoad, network_state
 from repro.core.buffers import dimension_buffers
 from repro.network.connection import ConnectionSpec
 from repro.traffic import DualPeriodicTraffic
+from repro.units import MBIT, MS_PER_S, US_PER_S
 
 DEMO_TRAFFIC = DualPeriodicTraffic(c1=120_000.0, p1=0.015, c2=60_000.0, p2=0.005)
 DEMO_REQUESTS = [
@@ -44,8 +45,8 @@ def cmd_topology(args) -> str:
         device = topo.device_of_ring(ring.ring_id)
         switch = topo.device_switch[device.device_id]
         lines.append(
-            f"  {ring.ring_id}: TTRT {ring.ttrt * 1e3:.1f} ms, "
-            f"{ring.bandwidth / 1e6:.0f} Mbps | hosts: {hosts} | "
+            f"  {ring.ring_id}: TTRT {ring.ttrt * MS_PER_S:.1f} ms, "
+            f"{ring.bandwidth / MBIT:.0f} Mbps | hosts: {hosts} | "
             f"bridge {device.device_id} -> {switch}"
         )
     lines.append("Backbone:")
@@ -54,8 +55,8 @@ def cmd_topology(args) -> str:
             if a < b:
                 link = topo.switch_link(a, b)
                 lines.append(
-                    f"  {a} <-> {b}: {link.rate / 1e6:.2f} Mbps "
-                    f"({link.propagation_delay * 1e6:.0f} us)"
+                    f"  {a} <-> {b}: {link.rate / MBIT:.2f} Mbps "
+                    f"({link.propagation_delay * US_PER_S:.0f} us)"
                 )
     return "\n".join(lines)
 
@@ -78,8 +79,8 @@ def cmd_demo(args) -> str:
     ]
     report = cac.analyzer.compute(loads)["video-1"]
     for hop, delay in report.per_hop:
-        lines.append(f"  {hop:40s} {delay * 1e6:10.1f} us")
-    lines.append(f"  {'TOTAL':40s} {report.total_delay * 1e6:10.1f} us")
+        lines.append(f"  {hop:40s} {delay * US_PER_S:10.1f} us")
+    lines.append(f"  {'TOTAL':40s} {report.total_delay * US_PER_S:10.1f} us")
     return "\n".join(lines)
 
 
@@ -106,6 +107,10 @@ def main(argv=None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv[:1] == ["lint"]:
+        from repro.lint.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="FDDI-ATM-FDDI real-time CAC — operator utilities.",
@@ -132,6 +137,12 @@ def main(argv=None) -> int:
     sub.add_parser(
         "bench",
         help="run the tracked CAC benchmarks (writes BENCH_cac.json)",
+        add_help=False,
+    )
+
+    sub.add_parser(
+        "lint",
+        help="run reprolint, the domain-aware static analyzer (see repro.lint)",
         add_help=False,
     )
 

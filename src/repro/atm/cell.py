@@ -11,11 +11,15 @@ from __future__ import annotations
 import math
 
 from repro.errors import ConfigurationError
+from repro.units import CELL_BITS, CELL_PAYLOAD_BITS
 
-#: Bits per cell on the wire (53 octets).
-CELL_BITS = 53 * 8
-#: Payload bits per cell (48 octets) — the paper's ``C_S``.
-CELL_PAYLOAD_BITS = 48 * 8
+__all__ = [
+    "CELL_BITS",
+    "CELL_PAYLOAD_BITS",
+    "WIRE_EXPANSION",
+    "cells_for_frame",
+    "payload_bits_for_frame",
+]
 #: Wire bits transmitted per payload bit carried.
 WIRE_EXPANSION = CELL_BITS / CELL_PAYLOAD_BITS
 

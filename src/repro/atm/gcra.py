@@ -41,7 +41,7 @@ class GCRA:
     increment: float
     tolerance: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.increment <= 0:
             raise ConfigurationError("GCRA increment must be positive")
         if self.tolerance < 0:

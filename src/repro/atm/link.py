@@ -26,7 +26,7 @@ class AtmLink:
     rate: float
     propagation_delay: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.rate <= 0:
             raise ConfigurationError("link rate must be positive")
         if self.propagation_delay < 0:

@@ -54,7 +54,7 @@ class OutputPortServer(SharedServer):
         port_latency: float = 0.0,
         buffer_bits: float = math.inf,
         name: str = None,
-    ):
+    ) -> None:
         if port_latency < 0:
             raise ConfigurationError("port latency must be non-negative")
         if buffer_bits <= 0:

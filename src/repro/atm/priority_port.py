@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.atm.cell import CELL_BITS
 from repro.atm.link import AtmLink
@@ -60,7 +60,7 @@ class PriorityOutputPortServer:
         port_latency: float = 0.0,
         name: Optional[str] = None,
         blocking_bits: float = float(CELL_BITS),
-    ):
+    ) -> None:
         if port_latency < 0:
             raise ConfigurationError("port latency must be non-negative")
         if blocking_bits < 0:

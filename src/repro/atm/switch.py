@@ -25,7 +25,7 @@ class AtmSwitch:
         fabric_delay: float = 0.0,
         port_buffer_bits: float = math.inf,
         port_latency: float = 0.0,
-    ):
+    ) -> None:
         if fabric_delay < 0:
             raise ConfigurationError("fabric delay must be non-negative")
         self.switch_id = switch_id

@@ -17,7 +17,7 @@ shortage is just one more admission-failure mode
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError, TopologyError
 from repro.network.routing import Route
@@ -51,7 +51,7 @@ class VirtualCircuit:
 class _LinkLabelSpace:
     """VCI allocator for one directed link (smallest-free-label policy)."""
 
-    def __init__(self, capacity: int, first_vci: int):
+    def __init__(self, capacity: int, first_vci: int) -> None:
         self.capacity = capacity
         self.first_vci = first_vci
         self._in_use: Dict[int, str] = {}
@@ -91,7 +91,7 @@ class VirtualCircuitManager:
         topology: NetworkTopology,
         vcis_per_link: int = 4096,
         first_vci: int = 32,
-    ):
+    ) -> None:
         if vcis_per_link <= 0:
             raise TopologyError("need a positive VC capacity")
         if first_vci < 0:

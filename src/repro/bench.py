@@ -33,6 +33,8 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.units import MS_PER_S
+
 from repro.config import AnalysisConfig, CACConfig, NetworkConfig, build_network
 from repro.core import AdmissionController, ConnectionLoad
 from repro.core.delay import DelayAnalyzer
@@ -260,7 +262,7 @@ def format_report(payload: Dict[str, object]) -> str:
         speedup = r["speedup_vs_full"]
         lines.append(
             f"  {r['name']:38s} {r['rounds']:6d} "
-            f"{r['median_s'] * 1e3:8.2f}ms {r['p90_s'] * 1e3:8.2f}ms "
+            f"{r['median_s'] * MS_PER_S:8.2f}ms {r['p90_s'] * MS_PER_S:8.2f}ms "
             + (f"{speedup:7.2f}x" if speedup else f"{'—':>8s}")
         )
     lines.append("")

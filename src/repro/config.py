@@ -57,7 +57,7 @@ class NetworkConfig:
     #: Maximum FDDI frame payload, bits (caps F_S = H * BW).
     max_frame_bits: float = float(MAX_FRAME_BITS)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_rings < 1 or self.hosts_per_ring < 1:
             raise ConfigurationError("need at least one ring and one host")
         if self.ttrt <= 0 or self.fddi_bandwidth <= 0 or self.atm_link_rate <= 0:
@@ -85,7 +85,7 @@ class AnalysisConfig:
     #: falling off a cold-cache cliff at the limit.
     stage_cache_size: int = 20_000
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.envelope_horizon <= 0:
             raise ConfigurationError("horizon must be positive")
         if self.max_envelope_segments < 8:
@@ -118,7 +118,7 @@ class CACConfig:
     incremental: bool = True
     analysis: AnalysisConfig = dataclasses.field(default_factory=AnalysisConfig)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not (0.0 <= self.beta <= 1.0):
             raise ConfigurationError("beta must be in [0, 1]")
         if not (0.0 < self.search_tolerance < 0.5):
@@ -159,14 +159,14 @@ class SimulationConfig:
     #: formula verbatim.  See EXPERIMENTS.md.
     load_scale: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.mean_lifetime <= 0:
             raise ConfigurationError("mean lifetime must be positive")
         if self.load_scale <= 0:
             raise ConfigurationError("load scale must be positive")
 
     def arrival_rate_for_utilization(
-        self, utilization: float, network: NetworkConfig
+        self, utilization: float, network: Optional[NetworkConfig]
     ) -> float:
         """Invert the paper's load formula ``U = (lambda / (3 mu)) * rho / C``.
 
@@ -185,7 +185,7 @@ class SimulationConfig:
         return rate * self.load_scale
 
 
-def build_network(config: NetworkConfig = None) -> NetworkTopology:
+def build_network(config: Optional[NetworkConfig] = None) -> NetworkTopology:
     """Construct the paper's topology (Figure 1 instantiated for Section 6).
 
     ``n_rings`` rings named ``ring1..ringN`` with hosts ``host<i>-<j>``,

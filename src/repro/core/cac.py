@@ -21,7 +21,6 @@ surrounding machinery.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import CACConfig, NetworkConfig
@@ -65,7 +64,7 @@ class AdmissionController:
         network_config: Optional[NetworkConfig] = None,
         cac_config: Optional[CACConfig] = None,
         policy: Optional[AllocationPolicy] = None,
-    ):
+    ) -> None:
         self.topology = topology
         self.network_config = network_config or NetworkConfig()
         self.config = cac_config or CACConfig()

@@ -30,12 +30,11 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.config import AnalysisConfig, NetworkConfig
 from repro.core.delay import (
     ConnectionLoad,
-    DedicatedStage,
     DelayAnalyzer,
     SharedStage,
 )
@@ -97,7 +96,7 @@ class ConcatenationAnalyzer:
         topology: NetworkTopology,
         network_config: Optional[NetworkConfig] = None,
         analysis_config: Optional[AnalysisConfig] = None,
-    ):
+    ) -> None:
         self.topology = topology
         self.network_config = network_config or NetworkConfig()
         self.analysis = analysis_config or AnalysisConfig()

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import AnalysisConfig, NetworkConfig
 from repro.envelopes.curve import Curve
-from repro.errors import CyclicDependencyError, TopologyError
+from repro.errors import CyclicDependencyError
 from repro.fddi.mac_server import FDDIMacServer
 from repro.interface_device.cell_frame import CellFrameConversionServer
 from repro.interface_device.frame_cell import FrameCellConversionServer
@@ -125,7 +125,7 @@ class LRUCache:
 
     __slots__ = ("maxsize", "hits", "misses", "evictions", "_data")
 
-    def __init__(self, maxsize: int):
+    def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
             raise ValueError("LRU cache needs a positive size")
         self.maxsize = int(maxsize)
@@ -208,7 +208,7 @@ class DelayAnalyzer:
         topology: NetworkTopology,
         network_config: Optional[NetworkConfig] = None,
         analysis_config: Optional[AnalysisConfig] = None,
-    ):
+    ) -> None:
         self.topology = topology
         self.network_config = network_config or NetworkConfig()
         self.analysis = analysis_config or AnalysisConfig()

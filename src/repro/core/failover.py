@@ -66,7 +66,7 @@ class FailoverReport:
 class FailoverManager:
     """Coordinates link/node failures and connection re-establishment."""
 
-    def __init__(self, cac: AdmissionController):
+    def __init__(self, cac: AdmissionController) -> None:
         self.cac = cac
         self.topology = cac.topology
 

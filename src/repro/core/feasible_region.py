@@ -14,7 +14,8 @@ by the ablation benches.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Tuple
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -121,27 +122,38 @@ def lower_boundary_curve(
 
 
 def convexity_violations(
-    sample: RegionSample, is_feasible: Feasibility, n_checks: int = 64, seed: int = 0
+    sample: RegionSample,
+    is_feasible: Feasibility,
+    n_checks: int = 64,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> List[Tuple[Tuple[float, float], Tuple[float, float], Tuple[float, float]]]:
     """Sample pairs of feasible grid points and test their midpoints.
 
     Returns the list of ``(p, q, midpoint)`` triples where both endpoints
     were feasible but the midpoint was not — empty for a convex region
     (Theorem 3 predicts empty, up to search tolerance).
+
+    Sampling draws from the injected ``rng`` when given (e.g. a
+    :class:`repro.sim.random.RandomStreams` stream), else from a private
+    ``random.Random(seed)`` — never from process-global RNG state.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = random.Random(seed)
     feas_points = [
         (sample.h_s_values[i], sample.h_r_values[j])
         for i, row in enumerate(sample.feasible)
         for j, ok in enumerate(row)
         if ok
     ]
-    violations = []
+    violations: List[
+        Tuple[Tuple[float, float], Tuple[float, float], Tuple[float, float]]
+    ] = []
     if len(feas_points) < 2:
         return violations
     for _ in range(n_checks):
-        idx = rng.integers(0, len(feas_points), size=2)
-        p, q = feas_points[idx[0]], feas_points[idx[1]]
+        p = feas_points[rng.randrange(len(feas_points))]
+        q = feas_points[rng.randrange(len(feas_points))]
         mid = (0.5 * (p[0] + q[0]), 0.5 * (p[1] + q[1]))
         if not is_feasible(*mid):
             violations.append((p, q, mid))

@@ -47,7 +47,7 @@ from repro.core.delay import (
 class IncrementalDelayEngine:
     """Caches per-component fixed points of a :class:`DelayAnalyzer`."""
 
-    def __init__(self, analyzer: DelayAnalyzer):
+    def __init__(self, analyzer: DelayAnalyzer) -> None:
         self.analyzer = analyzer
         #: load key -> DelayReport from the last successful computation.
         self._reports: Dict[tuple, DelayReport] = {}
@@ -268,7 +268,7 @@ class IncrementalDelayEngine:
 class _UnionFind:
     __slots__ = ("parent",)
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.parent = list(range(n))
 
     def find(self, i: int) -> int:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-import math
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.config import CACConfig
@@ -89,7 +88,7 @@ class BetaPolicy(AllocationPolicy):
     slack in the admitted delays.
     """
 
-    def __init__(self, beta: float):
+    def __init__(self, beta: float) -> None:
         if not (0.0 <= beta <= 1.0):
             raise ValueError("beta must be within [0, 1]")
         self.beta = float(beta)
@@ -146,6 +145,7 @@ class BetaPolicy(AllocationPolicy):
         if s_min is None:
             return None
         ctx.observed_min_need = ctx.point(s_min)
+        # reprolint: disable=RL003 -- exact config sentinel: beta=0.0 selects the pure min-need policy
         if self.beta == 0.0:
             s_star = s_min
         else:
@@ -183,7 +183,7 @@ class FDDILocalPolicy(AllocationPolicy):
     cannot be transplanted into a heterogeneous network.
     """
 
-    def __init__(self, headroom: float = 2.0):
+    def __init__(self, headroom: float = 2.0) -> None:
         """``headroom`` scales the proportional grant (the classic schemes
         over-provision by a small factor to absorb token-timing jitter)."""
         if headroom <= 0:
@@ -209,7 +209,7 @@ class FixedPolicy(AllocationPolicy):
     """Grant a fixed, caller-chosen allocation (used by tests and the
     feasible-region explorer)."""
 
-    def __init__(self, h_s: float, h_r: float):
+    def __init__(self, h_s: float, h_r: float) -> None:
         self.h_s = float(h_s)
         self.h_r = float(h_r)
 

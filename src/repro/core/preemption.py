@@ -12,7 +12,7 @@ connection is re-established and the network returns to its prior state.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.cac import AdmissionController, AdmissionResult
 from repro.errors import ConfigurationError
@@ -37,7 +37,7 @@ class PreemptionResult:
 class PreemptiveAdmission:
     """Importance-ranked admission on top of an :class:`AdmissionController`."""
 
-    def __init__(self, cac: AdmissionController):
+    def __init__(self, cac: AdmissionController) -> None:
         self.cac = cac
         #: conn_id -> importance (higher = more critical).
         self._importance: Dict[str, float] = {}

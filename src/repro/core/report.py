@@ -11,6 +11,7 @@ from typing import Dict, List, Optional
 
 from repro.core.cac import AdmissionController
 from repro.core.delay import ConnectionLoad
+from repro.units import MS_PER_S
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,15 +71,15 @@ class NetworkStateReport:
         for c in sorted(self.connections, key=lambda c: c.conn_id):
             lines.append(
                 f"    {c.conn_id:20s} {c.source}->{c.destination}  "
-                f"bound {c.delay_bound * 1e3:7.2f} ms / deadline "
-                f"{c.deadline * 1e3:6.1f} ms  (slack {c.slack_fraction:5.1%})  "
-                f"H=({c.h_source * 1e3:.3f}, {c.h_dest * 1e3:.3f}) ms"
+                f"bound {c.delay_bound * MS_PER_S:7.2f} ms / deadline "
+                f"{c.deadline * MS_PER_S:6.1f} ms  (slack {c.slack_fraction:5.1%})  "
+                f"H=({c.h_source * MS_PER_S:.3f}, {c.h_dest * MS_PER_S:.3f}) ms"
             )
         lines.append("  Rings:")
         for r in sorted(self.rings, key=lambda r: r.ring_id):
             lines.append(
                 f"    {r.ring_id:8s} {r.occupancy:6.1%} of usable TTRT allocated "
-                f"({r.available * 1e3:.3f} ms free)"
+                f"({r.available * MS_PER_S:.3f} ms free)"
             )
         return "\n".join(lines)
 

@@ -24,6 +24,10 @@ from repro.errors import CurveError
 #: Relative/absolute tolerance used when comparing coordinates.
 EPS = 1e-12
 
+#: Relative tolerance for the monotonicity check at segment boundaries —
+#: looser than EPS because left limits accumulate one multiply-add of error.
+MONOTONE_RTOL = 1e-6
+
 
 def _is_close(a: float, b: float, tol: float = 1e-9) -> bool:
     return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
@@ -53,7 +57,7 @@ class Curve:
         ys: Sequence[float],
         slopes: Sequence[float],
         validate: bool = True,
-    ):
+    ) -> None:
         xs_arr = np.asarray(xs, dtype=float)
         ys_arr = np.asarray(ys, dtype=float)
         slopes_arr = np.asarray(slopes, dtype=float)
@@ -71,7 +75,11 @@ class Curve:
             # Non-decreasing across boundaries: y[i+1] >= left limit.
             if len(xs_arr) > 1:
                 left_limits = ys_arr[:-1] + slopes_arr[:-1] * np.diff(xs_arr)
-                if np.any(ys_arr[1:] < left_limits - 1e-6 * np.maximum(1.0, np.abs(left_limits))):
+                if np.any(
+                    ys_arr[1:]
+                    < left_limits
+                    - MONOTONE_RTOL * np.maximum(1.0, np.abs(left_limits))
+                ):
                     raise CurveError("curve must be non-decreasing (downward jump found)")
         self.xs = xs_arr
         self.ys = ys_arr

@@ -51,7 +51,7 @@ class AdmissionError(ReproError):
     why the CAC said no.
     """
 
-    def __init__(self, reason: str):
+    def __init__(self, reason: str) -> None:
         super().__init__(reason)
         self.reason = reason
 

@@ -11,13 +11,14 @@ token phasing the simulator does not reproduce.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.config import CACConfig, NetworkConfig, build_network
 from repro.core.cac import AdmissionController
 from repro.core.delay import ConnectionLoad
 from repro.network.connection import ConnectionSpec
 from repro.sim.packet_sim import PacketLevelSimulator
+from repro.units import MS_PER_S
 from repro.traffic import DualPeriodicTraffic
 
 #: Connection endpoints used for the validation scenario (two per ring).
@@ -107,8 +108,8 @@ def main() -> str:
         ]
         for r in rows:
             out.append(
-                f"{r.conn_id:8s} {r.analytic_bound * 1e3:10.3f} "
-                f"{r.observed_max * 1e3:12.3f} {r.observed_mean * 1e3:13.3f} "
+                f"{r.conn_id:8s} {r.analytic_bound * MS_PER_S:10.3f} "
+                f"{r.observed_max * MS_PER_S:12.3f} {r.observed_mean * MS_PER_S:13.3f} "
                 f"{r.tightness:10.3f} {str(r.holds):>6s}"
             )
         all_hold &= all(r.holds for r in rows)

@@ -17,6 +17,7 @@ from typing import Dict, List
 
 from repro.core.cac import AdmissionController
 from repro.errors import ReproError
+from repro.units import MS_PER_S
 
 #: Ledger discrepancies below this (seconds of synchronous time) are
 #: floating-point noise, not leaks.
@@ -57,7 +58,7 @@ class SurvivabilityAudit:
             f"  max ring-ledger discrepancy: {self.leaked_sync_time:.3e} s"
         )
         for cid, overrun in sorted(self.deadline_violations.items()):
-            lines.append(f"  DEADLINE VIOLATED {cid}: +{overrun * 1e3:.3f} ms")
+            lines.append(f"  DEADLINE VIOLATED {cid}: +{overrun * MS_PER_S:.3f} ms")
         for err in self.errors:
             lines.append(f"  ERROR: {err}")
         return "\n".join(lines)

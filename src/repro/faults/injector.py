@@ -56,7 +56,7 @@ class FaultConfig:
     #: handy for reproducible drills without writing a full script).
     distribution: str = "exponential"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for name in ("link_mtbf", "switch_mtbf", "device_mtbf"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be non-negative")
@@ -83,7 +83,7 @@ class ScriptedFault:
     #: ``("s1", "s2")`` for a link, ``"s1"`` / ``"id1"`` for a node.
     target: Union[LinkTarget, NodeTarget]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.action not in ("fail", "repair"):
             raise ConfigurationError(f"unknown fault action {self.action!r}")
         if self.time < 0:
@@ -100,7 +100,7 @@ class FaultScript:
 
     events: Tuple[ScriptedFault, ...]
 
-    def __init__(self, events: Sequence[ScriptedFault]):
+    def __init__(self, events: Sequence[ScriptedFault]) -> None:
         object.__setattr__(
             self, "events", tuple(sorted(events, key=lambda e: e.time))
         )
@@ -119,7 +119,7 @@ class FaultInjector:
         script: Optional[FaultScript] = None,
         on_displaced: Optional[Callable] = None,
         on_repaired: Optional[Callable] = None,
-    ):
+    ) -> None:
         """``on_displaced(kind, target, specs)`` fires after every failure
         event with the deadline-sorted displaced specs (possibly empty);
         ``on_repaired(kind, target)`` after every repair.  ``kind`` is

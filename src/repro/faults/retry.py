@@ -44,7 +44,7 @@ class RetryPolicy:
     #: ``u ~ U[0, 1)`` so synchronized retries de-correlate.
     jitter: float = 0.1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.base_delay <= 0 or self.max_delay <= 0:
             raise ConfigurationError("backoff delays must be positive")
         if self.factor < 1.0:
@@ -104,7 +104,7 @@ class RetryOrchestrator:
         on_reconnected: Optional[Callable] = None,
         on_abandoned: Optional[Callable] = None,
         on_expired: Optional[Callable] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.cac = cac
         self.policy = policy or RetryPolicy()

@@ -31,6 +31,7 @@ from repro.envelopes.operations import (
 from repro.envelopes.staircase import timed_token_staircase
 from repro.errors import BufferOverflowError, ConfigurationError, UnstableSystemError
 from repro.servers.base import DedicatedServer, ServerAnalysis
+from repro.units import MS_PER_S
 
 
 class FDDIMacServer(DedicatedServer):
@@ -61,7 +62,7 @@ class FDDIMacServer(DedicatedServer):
         buffer_bits: float = math.inf,
         name: str = "fddi-mac",
         max_steps: int = 4096,
-    ):
+    ) -> None:
         if sync_time < 0:
             raise ConfigurationError("synchronous allocation must be non-negative")
         if ttrt <= 0 or bandwidth <= 0:
@@ -162,6 +163,6 @@ class FDDIMacServer(DedicatedServer):
 
     def __repr__(self) -> str:
         return (
-            f"FDDIMacServer({self.name!r}, H={self.sync_time * 1e3:.4g}ms, "
-            f"TTRT={self.ttrt * 1e3:.4g}ms)"
+            f"FDDIMacServer({self.name!r}, H={self.sync_time * MS_PER_S:.4g}ms, "
+            f"TTRT={self.ttrt * MS_PER_S:.4g}ms)"
         )

@@ -6,7 +6,7 @@ import dataclasses
 from typing import Dict, Hashable
 
 from repro.errors import ConfigurationError
-from repro.units import MBIT
+from repro.units import MBIT, MS_PER_S
 
 
 @dataclasses.dataclass
@@ -40,7 +40,7 @@ class FDDIRing:
     overhead: float = 0.0
     propagation_delay: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.ttrt <= 0:
             raise ConfigurationError("TTRT must be positive")
         if self.bandwidth <= 0:
@@ -99,7 +99,7 @@ class FDDIRing:
 
     def __repr__(self) -> str:
         return (
-            f"FDDIRing({self.ring_id!r}, TTRT={self.ttrt * 1e3:.3g}ms, "
-            f"allocated={self.allocated_sync_time * 1e3:.3g}ms, "
+            f"FDDIRing({self.ring_id!r}, TTRT={self.ttrt * MS_PER_S:.3g}ms, "
+            f"allocated={self.allocated_sync_time * MS_PER_S:.3g}ms, "
             f"{len(self._allocations)} connections)"
         )

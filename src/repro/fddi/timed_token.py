@@ -10,9 +10,10 @@ useless (frame transmission is not preemptible).
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
+from repro.units import FDDI_MAX_FRAME_BYTES, bytes_to_bits
 
 #: Maximum FDDI frame size in bits (4500 octets, per the standard).
-MAX_FRAME_BITS = 4500 * 8
+MAX_FRAME_BITS = int(bytes_to_bits(FDDI_MAX_FRAME_BYTES))
 
 #: Token + preamble + header overhead per capture, seconds (conservative
 #: figure for 100 Mbps FDDI; a few microseconds in practice).

@@ -38,6 +38,7 @@ from repro.envelopes.operations import (
 from repro.envelopes.staircase import timed_token_staircase
 from repro.errors import BufferOverflowError, ConfigurationError, UnstableSystemError
 from repro.servers.base import DedicatedServer, ServerAnalysis
+from repro.units import MS_PER_S
 
 
 class TokenRing8025MacServer(DedicatedServer):
@@ -63,7 +64,7 @@ class TokenRing8025MacServer(DedicatedServer):
         buffer_bits: float = math.inf,
         name: str = "802.5-mac",
         max_steps: int = 4096,
-    ):
+    ) -> None:
         if holding_time < 0:
             raise ConfigurationError("holding time must be non-negative")
         if cycle_time <= 0 or bandwidth <= 0:
@@ -161,6 +162,6 @@ class TokenRing8025MacServer(DedicatedServer):
     def __repr__(self) -> str:
         return (
             f"TokenRing8025MacServer({self.name!r}, "
-            f"THT={self.holding_time * 1e3:.4g}ms, "
-            f"cycle={self.cycle_time * 1e3:.4g}ms)"
+            f"THT={self.holding_time * MS_PER_S:.4g}ms, "
+            f"cycle={self.cycle_time * MS_PER_S:.4g}ms)"
         )

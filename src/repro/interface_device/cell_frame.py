@@ -27,7 +27,7 @@ class CellFrameConversionServer(DedicatedServer):
         processing_delay: float = 0.0,
         horizon: float = 1.0,
         name: str = "cell-frame",
-    ):
+    ) -> None:
         if frame_bits <= 0:
             raise ConfigurationError("frame size must be positive")
         if processing_delay < 0:

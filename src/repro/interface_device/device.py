@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from repro.atm.link import AtmLink
 from repro.atm.output_port import OutputPortServer
@@ -45,7 +46,7 @@ class InterfaceDevice:
         frame_processing_delay: float = 0.0,
         port_buffer_bits: float = math.inf,
         port_latency: float = 0.0,
-    ):
+    ) -> None:
         for label, value in [
             ("input_port_delay", input_port_delay),
             ("frame_switch_delay", frame_switch_delay),
@@ -61,8 +62,8 @@ class InterfaceDevice:
         self.frame_processing_delay = float(frame_processing_delay)
         self._port_buffer_bits = port_buffer_bits
         self._port_latency = port_latency
-        self._uplink: AtmLink = None
-        self._uplink_port: OutputPortServer = None
+        self._uplink: Optional[AtmLink] = None
+        self._uplink_port: Optional[OutputPortServer] = None
 
     # ------------------------------------------------------------------
     # ATM attachment

@@ -41,7 +41,7 @@ class FrameCellConversionServer(DedicatedServer):
         processing_delay: float = 0.0,
         horizon: float = 1.0,
         name: str = "frame-cell",
-    ):
+    ) -> None:
         if frame_bits <= 0:
             raise ConfigurationError("frame size must be positive")
         if processing_delay < 0:

@@ -1,0 +1,57 @@
+"""reprolint — domain-aware static analysis for this codebase.
+
+``python -m repro lint [paths...]`` (or the standalone ``tools/reprolint``)
+checks the invariants the admission-control math and the discrete-event
+simulator rely on but ordinary linters cannot see:
+
+========  ==============================================================
+RL001     determinism: no wall clock / module-level RNG state in
+          simulation packages (route through RandomStreams)
+RL002     unit discipline: conversions only through repro.units; no
+          magic ``8``/``53``/``1e6`` factors, no ``*_ms`` names holding
+          seconds
+RL003     float safety: no exact ``==``/``!=`` against floats in the
+          math kernels (use the tolerance helpers)
+RL004     cache purity: never mutate a value handed out by the delay
+          engine's caches/memos
+========  ==============================================================
+
+Suppress a finding with ``# reprolint: disable=RL00x -- justification``.
+See ``docs/static_analysis.md`` for the full catalog and how to add rules.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    format_report,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
+from repro.lint.findings import Finding, Suppressions, parse_suppressions
+from repro.lint.rules import (
+    ALL_RULES,
+    CachePurityRule,
+    DeterminismRule,
+    FloatSafetyRule,
+    Rule,
+    UnitDisciplineRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "CachePurityRule",
+    "DeterminismRule",
+    "Finding",
+    "FloatSafetyRule",
+    "Rule",
+    "Suppressions",
+    "UnitDisciplineRule",
+    "format_report",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "select_rules",
+]

@@ -1,0 +1,64 @@
+"""CLI for reprolint: ``python -m repro.lint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import format_report, lint_paths, select_rules
+from repro.lint.rules import ALL_RULES
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "Domain-aware static analysis: determinism (RL001), unit "
+            "discipline (RL002), float safety (RL003), cache purity "
+            "(RL004)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--no-hints",
+        action="store_true",
+        help="omit autofix hints from the report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+            print(f"       fix: {rule.autofix_hint}")
+        return 0
+
+    try:
+        rules = select_rules(
+            args.select.split(",") if args.select else None
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    findings = lint_paths(args.paths, rules=rules)
+    print(format_report(findings, show_hints=not args.no_hints))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""File walking, rule dispatch and reporting for ``repro lint``."""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding, parse_suppressions
+from repro.lint.rules import ALL_RULES, Rule
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    """Every ``.py`` file under ``paths`` (files are taken verbatim)."""
+    seen: Set[str] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            key = os.path.abspath(candidate)
+            if key not in seen:
+                seen.add(key)
+                yield candidate
+
+
+def select_rules(codes: Optional[Sequence[str]] = None) -> Tuple[Rule, ...]:
+    """The rule instances to run (all by default)."""
+    if not codes:
+        return ALL_RULES
+    wanted = {code.strip().upper() for code in codes}
+    unknown = wanted - {rule.code for rule in ALL_RULES}
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+    return tuple(rule for rule in ALL_RULES if rule.code in wanted)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    virtual_path: Optional[str] = None,
+) -> List[Finding]:
+    """Lint one source string.
+
+    ``virtual_path`` overrides the path used for rule *scoping* (handy for
+    fixture files exercising rules outside their real package layout);
+    findings still report ``path``.
+    """
+    scope = PurePosixPath((virtual_path or path).replace(os.sep, "/"))
+    active = [rule for rule in rules or ALL_RULES if rule.applies_to(scope)]
+    if not active:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="RL000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    for lineno in suppressions.unjustified:
+        findings.append(
+            Finding(
+                path=path,
+                line=lineno,
+                col=1,
+                code="RL005",
+                message="suppression pragma lacks a '--' justification",
+                hint="append ' -- <why>' after the disabled code(s)",
+            )
+        )
+    for rule in active:
+        for finding in rule.check(tree, source, path):
+            if not suppressions.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths``; findings in path order."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    code="RL000",
+                    message=f"unreadable file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, str(path), rules=rules))
+    return findings
+
+
+def format_report(findings: Sequence[Finding], show_hints: bool = True) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.format(show_hint=show_hints) for finding in findings]
+    if findings:
+        by_code: Dict[str, int] = {}
+        for finding in findings:
+            by_code[finding.code] = by_code.get(finding.code, 0) + 1
+        summary = ", ".join(
+            f"{code}: {count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(f"reprolint: {len(findings)} finding(s) ({summary})")
+    else:
+        lines.append("reprolint: clean")
+    return "\n".join(lines)

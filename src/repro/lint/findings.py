@@ -1,0 +1,109 @@
+"""Finding records and ``# reprolint: disable=`` pragma handling.
+
+A finding pins a rule violation to a file position.  Findings can be
+suppressed at the line level with a trailing pragma::
+
+    t0 = time.time()  # reprolint: disable=RL001 -- reporting-only timer
+
+or for a whole file by placing the pragma on a comment-only line within
+the first ten lines of the file::
+
+    # reprolint: disable-file=RL002 -- this module IS the unit table
+
+The text after ``--`` is the justification; a pragma carrying no
+justification is itself reported (RL005), so suppressions stay
+reviewable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+#: Matches one pragma occurrence anywhere in a physical line.
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*))?$"
+)
+
+#: How many leading lines may carry a file-level pragma.
+_FILE_PRAGMA_WINDOW = 10
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source position."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+
+    def format(self, show_hint: bool = True) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if show_hint and self.hint:
+            text += f"  [fix: {self.hint}]"
+        return text
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppressions:
+    """Parsed pragmas of one file: per-line and file-wide disabled codes."""
+
+    by_line: Dict[int, FrozenSet[str]]
+    file_wide: FrozenSet[str]
+    #: Lines whose pragma carried no ``-- justification`` text.
+    unjustified: Tuple[int, ...]
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if "ALL" in self.file_wide or finding.code in self.file_wide:
+            return True
+        codes = self.by_line.get(finding.line, frozenset())
+        return "ALL" in codes or finding.code in codes
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every ``reprolint`` pragma from ``source``.
+
+    Line pragmas apply to their own physical line; a pragma on a
+    comment-only line also covers the next line, so a finding on a long
+    statement can carry its justification above it.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    unjustified: List[int] = []
+    lines = source.splitlines()
+    for lineno, raw in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(raw)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        if not codes:
+            continue
+        why = (match.group("why") or "").strip()
+        if not why:
+            unjustified.append(lineno)
+        kind = match.group(1)
+        comment_only = raw.lstrip().startswith("#")
+        if kind == "disable-file":
+            if lineno <= _FILE_PRAGMA_WINDOW and comment_only:
+                file_wide |= codes
+            else:  # misplaced file pragma degrades to a line pragma
+                by_line.setdefault(lineno, set()).update(codes)
+            continue
+        by_line.setdefault(lineno, set()).update(codes)
+        if comment_only:
+            by_line.setdefault(lineno + 1, set()).update(codes)
+    return Suppressions(
+        by_line={line: frozenset(codes) for line, codes in by_line.items()},
+        file_wide=frozenset(file_wide),
+        unjustified=tuple(unjustified),
+    )

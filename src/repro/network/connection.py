@@ -31,7 +31,7 @@ class ConnectionSpec:
     traffic: TrafficDescriptor
     deadline: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.deadline <= 0:
             raise ValueError("deadline must be positive")
         if self.source_host == self.dest_host:

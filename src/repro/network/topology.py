@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
 
@@ -37,7 +37,7 @@ class NetworkTopology:
     devices (attaching each to a switch), then inter-switch links.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.rings: Dict[str, FDDIRing] = {}
         self.hosts: Dict[str, Host] = {}
         self.switches: Dict[str, AtmSwitch] = {}

@@ -16,7 +16,7 @@ class ServerChain(DedicatedServer):
     output), exactly as Eq. (7) sums the compound-server delays.
     """
 
-    def __init__(self, servers: Iterable[DedicatedServer], name: str = "chain"):
+    def __init__(self, servers: Iterable[DedicatedServer], name: str = "chain") -> None:
         self.servers: List[DedicatedServer] = list(servers)
         self.name = name
 

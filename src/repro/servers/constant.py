@@ -17,7 +17,7 @@ from repro.servers.base import DedicatedServer, ServerAnalysis
 class ConstantDelayServer(DedicatedServer):
     """Delays every bit by exactly ``delay`` seconds."""
 
-    def __init__(self, delay: float, name: str = "constant-delay"):
+    def __init__(self, delay: float, name: str = "constant-delay") -> None:
         if delay < 0:
             raise ConfigurationError("delay must be non-negative")
         self.delay = float(delay)

@@ -51,7 +51,7 @@ class RegulatorServer(DedicatedServer):
         peak: float = math.inf,
         buffer_bits: float = math.inf,
         name: str = "regulator",
-    ):
+    ) -> None:
         if sigma < 0 or rho <= 0:
             raise ConfigurationError("need sigma >= 0 and rho > 0")
         if peak <= 0 or (math.isfinite(peak) and peak < rho):

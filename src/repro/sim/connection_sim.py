@@ -92,7 +92,7 @@ class ConnectionSimulator:
         config: ConnectionSimConfig,
         policy: Optional[AllocationPolicy] = None,
         workload_generator=None,
-    ):
+    ) -> None:
         self.config = config
         self.topology = build_network(config.network)
         self.cac = AdmissionController(

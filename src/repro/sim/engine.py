@@ -34,7 +34,7 @@ class Event:
 class Simulator:
     """The event loop."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._heap = []
         self._seq = itertools.count()
         self.now = 0.0

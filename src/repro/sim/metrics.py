@@ -4,13 +4,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 
 class RunningStats:
     """Streaming mean/variance (Welford) with min/max tracking."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.n = 0
         self._mean = 0.0
         self._m2 = 0.0

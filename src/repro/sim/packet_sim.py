@@ -24,7 +24,6 @@ network relative to the analysis, so the bound must still dominate):
 from __future__ import annotations
 
 import dataclasses
-import math
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -61,7 +60,7 @@ class _Chunk:
 class _Station:
     """A synchronous transmitter on a ring (a host or one ID allocation)."""
 
-    def __init__(self, key: str, sync_time: float, on_transmit):
+    def __init__(self, key: str, sync_time: float, on_transmit) -> None:
         self.key = key
         self.sync_time = sync_time
         self.queue: deque = deque()  # of (_Batch, bits_remaining)
@@ -112,7 +111,7 @@ class _TokenRing:
         stations: List[_Station],
         sim: Simulator,
         wake_delay: float = 0.0,
-    ):
+    ) -> None:
         self.ring = ring
         self.stations = stations
         self.sim = sim
@@ -161,7 +160,7 @@ class _FifoPort:
         extra_delay: float,
         sim: Simulator,
         forward: Callable[[_Chunk], None],
-    ):
+    ) -> None:
         self.rate = rate
         self.extra_delay = extra_delay
         self.sim = sim
@@ -210,7 +209,7 @@ class PacketLevelSimulator:
         loads: Sequence[ConnectionLoad],
         network_config: Optional[NetworkConfig] = None,
         adversarial_phase: bool = False,
-    ):
+    ) -> None:
         self.topology = topology
         self.loads = list(loads)
         self.config = network_config or NetworkConfig()

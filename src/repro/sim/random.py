@@ -11,13 +11,15 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, Sequence, TypeVar
+
+T = TypeVar("T")
 
 
 class RandomStreams:
     """A family of named deterministic random streams."""
 
-    def __init__(self, master_seed: int):
+    def __init__(self, master_seed: int) -> None:
         self.master_seed = int(master_seed)
         self._streams: Dict[str, random.Random] = {}
 
@@ -39,7 +41,7 @@ class RandomStreams:
             raise ValueError("mean must be positive")
         return self.stream(name).expovariate(1.0 / mean)
 
-    def choice(self, name: str, seq):
+    def choice(self, name: str, seq: Sequence[T]) -> T:
         return self.stream(name).choice(seq)
 
     def uniform(self, name: str, lo: float, hi: float) -> float:

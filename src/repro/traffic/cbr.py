@@ -23,7 +23,7 @@ class CBRTraffic(TrafficDescriptor):
     rate: float
     packet_bits: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.rate <= 0:
             raise ConfigurationError("rate must be positive")
         if self.packet_bits < 0:

@@ -50,7 +50,7 @@ class DualPeriodicTraffic(TrafficDescriptor):
     p2: float
     peak: float = math.inf
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.p1 <= 0 or self.p2 <= 0:
             raise ConfigurationError("periods must be positive")
         if self.c1 <= 0 or self.c2 <= 0:

@@ -36,7 +36,7 @@ class WorkloadSpec:
     jitter: float = 0.0
     peak: float = float("inf")
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not (0.0 <= self.jitter < 1.0):
             raise ConfigurationError("jitter must be in [0, 1)")
         if self.deadline_min <= 0 or self.deadline_max < self.deadline_min:
@@ -53,7 +53,7 @@ class WorkloadSpec:
 class WorkloadGenerator:
     """Draws connection requests from a :class:`WorkloadSpec`."""
 
-    def __init__(self, spec: WorkloadSpec, rng: random.Random):
+    def __init__(self, spec: WorkloadSpec, rng: random.Random) -> None:
         self.spec = spec
         self._rng = rng
 
@@ -87,7 +87,7 @@ class MixedWorkloadGenerator:
         self,
         classes: "list[Tuple[str, float, WorkloadSpec]]",
         rng: random.Random,
-    ):
+    ) -> None:
         """``classes`` is a list of ``(name, weight, spec)`` triples."""
         if not classes:
             raise ConfigurationError("need at least one workload class")

@@ -25,7 +25,7 @@ class LeakyBucketTraffic(TrafficDescriptor):
     rho: float
     peak: float = math.inf
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.sigma < 0:
             raise ConfigurationError("burst sigma must be non-negative")
         if self.rho < 0:

@@ -40,7 +40,7 @@ class MPEGTraffic(TrafficDescriptor):
     regulating the source, see :class:`repro.servers.RegulatorServer`).
     """
 
-    def __init__(self, frame_bits: Sequence[float], fps: float):
+    def __init__(self, frame_bits: Sequence[float], fps: float) -> None:
         if not frame_bits:
             raise ConfigurationError("need at least one frame in the GOP")
         if any(b <= 0 for b in frame_bits):

@@ -24,7 +24,7 @@ class PeriodicTraffic(TrafficDescriptor):
     p: float
     peak: float = math.inf
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.c <= 0:
             raise ConfigurationError("message size c must be positive")
         if self.p <= 0:

@@ -35,7 +35,7 @@ class TraceTraffic(TrafficDescriptor):
         self,
         arrivals: Sequence[Tuple[float, float]],
         sustained_rate: float = None,
-    ):
+    ) -> None:
         if not arrivals:
             raise ConfigurationError("trace must contain at least one arrival")
         times = np.asarray([t for t, _ in arrivals], dtype=float)

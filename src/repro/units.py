@@ -27,6 +27,23 @@ US = 1e-6
 #: One nanosecond, in seconds.
 NS = 1e-9
 
+#: Milliseconds per second (for reporting; multiplying by this is exact).
+MS_PER_S = 1e3
+#: Microseconds per second (for reporting).
+US_PER_S = 1e6
+
+#: Octets in one ATM cell on the wire.
+CELL_BYTES = 53
+#: Payload octets per ATM cell (AAL5 cell body) — the paper's ``C_S`` in bytes.
+CELL_PAYLOAD_BYTES = 48
+#: Bits per ATM cell on the wire.
+CELL_BITS = CELL_BYTES * 8
+#: Payload bits per ATM cell — the paper's ``C_S``.
+CELL_PAYLOAD_BITS = CELL_PAYLOAD_BYTES * 8
+
+#: Maximum FDDI frame size in octets (per the ANSI X3T9.5 standard).
+FDDI_MAX_FRAME_BYTES = 4500
+
 
 def mbps(value: float) -> float:
     """Convert a rate in megabits/second to bits/second."""

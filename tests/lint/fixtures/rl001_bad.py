@@ -1,0 +1,19 @@
+"""Known-bad determinism fixture (scoped as repro/sim/... by the tests)."""
+
+import random
+import time
+from datetime import datetime
+from random import randint
+
+import numpy as np
+
+
+def stamp():
+    return time.time(), datetime.now()
+
+
+def draw():
+    jitter = random.random()
+    pick = randint(0, 10)
+    rng = np.random.default_rng(42)
+    return jitter, pick, rng.normal()

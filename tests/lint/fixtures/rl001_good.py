@@ -1,0 +1,16 @@
+"""Known-good determinism fixture: injected RNGs and reporting timers."""
+
+import random
+import time
+
+
+def draw(streams, rng=None):
+    if rng is None:
+        rng = random.Random(7)
+    return streams.uniform("arrivals", 0.0, 1.0) + rng.random()
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

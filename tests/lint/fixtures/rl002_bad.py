@@ -1,0 +1,17 @@
+"""Known-bad unit-discipline fixture: inline conversions and bad suffixes."""
+
+from repro.units import bits_to_bytes, milliseconds
+
+
+def convert(frame_bytes, rate, delay):
+    frame_bits = frame_bytes * 8
+    rate_mbps = rate / 1e6
+    cells = frame_bits / 424
+    delay_ms = delay * 1e-3
+    return frame_bits, rate_mbps, cells, delay_ms
+
+
+def mismatched(raw):
+    ttrt_ms = milliseconds(raw)
+    size_bits = bits_to_bytes(raw)
+    return ttrt_ms, size_bits

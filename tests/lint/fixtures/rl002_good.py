@@ -1,0 +1,16 @@
+"""Known-good unit-discipline fixture: named units only."""
+
+from repro.units import CELL_BITS, MBIT, MS, bytes_to_bits, milliseconds
+
+
+def convert(frame_bytes, rate):
+    frame_bits = bytes_to_bits(frame_bytes)
+    cells = frame_bits / CELL_BITS
+    ttrt = 8 * MS
+    backbone = 155.52 * MBIT
+    return frame_bits, cells, ttrt, backbone
+
+
+def matched(raw):
+    ttrt_s = milliseconds(raw)
+    return ttrt_s

@@ -1,0 +1,9 @@
+"""Known-bad float-safety fixture (scoped as repro/core/... by the tests)."""
+
+
+def check(delay: float, bound: float, slack):
+    if slack == 0.0:
+        return True
+    if delay == bound:
+        return True
+    return slack != 1.5

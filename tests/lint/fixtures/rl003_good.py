@@ -1,0 +1,11 @@
+"""Known-good float-safety fixture: sentinels and tolerance helpers."""
+
+import math
+
+
+def check(delay: float, bound: float, latency, count: int):
+    if latency == 0:  # exact integer sentinel: "left at default"
+        return True
+    if count == 3:
+        return False
+    return math.isclose(delay, bound, rel_tol=1e-9)

@@ -1,0 +1,14 @@
+"""Known-bad cache-purity fixture (scoped as repro/core/delay.py)."""
+
+
+class Engine:
+    def poison(self, key, extra):
+        cached = self._stage_cache.get(key)
+        if cached is not None:
+            cached.append(extra)
+            cached[0] = extra
+            cached.total = extra
+        report = self._reports[key]
+        report.update(extra)
+        del report["stale"]
+        return cached

@@ -1,0 +1,13 @@
+"""Known-good cache-purity fixture: copy before mutating, re-put."""
+
+
+class Engine:
+    def refresh(self, key, extra):
+        cached = self._stage_cache.get(key)
+        if cached is None:
+            fresh = [extra]
+        else:
+            fresh = list(cached)
+            fresh.append(extra)
+        self._stage_cache.put(key, fresh)
+        return fresh

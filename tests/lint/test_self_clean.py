@@ -1,0 +1,59 @@
+"""The repo must lint itself clean — the linter's ultimate fixture.
+
+These tests enforce the invariant the CI lint job relies on: every rule
+runs over ``src`` and finds nothing (or only explicitly justified
+suppressions).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import format_report, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_src_tree_is_lint_clean():
+    findings = lint_paths([str(SRC)])
+    assert findings == [], "\n" + format_report(findings)
+
+
+def test_cli_exits_zero_on_repo():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "reprolint: clean" in proc.stdout
+
+
+def test_cli_exits_nonzero_on_findings(tmp_path):
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nt0 = time.time()\n", encoding="utf-8")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(tmp_path)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "RL001" in proc.stdout
+
+
+def test_standalone_tool_runs():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "reprolint"), "--list-rules"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    for code in ("RL001", "RL002", "RL003", "RL004"):
+        assert code in proc.stdout
