@@ -273,29 +273,85 @@ def format_report(payload: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _write_json(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\n[written to {path}]")
+
+
+def _run_cac_suite(quick: bool, output: Optional[str]) -> int:
+    payload = run_benches(quick=quick)
+    print(format_report(payload))
+    if output != "-":
+        _write_json(payload, output or "BENCH_cac.json")
+    return 0 if payload["macro_decisions_identical"] else 1
+
+
+def _run_envelope_suite(
+    quick: bool, output: Optional[str], check_path: Optional[str]
+) -> int:
+    from repro import bench_envelopes
+
+    committed = None
+    if check_path is not None:
+        with open(check_path) as fh:
+            committed = json.load(fh)
+    payload, problems = bench_envelopes.run_and_check(
+        quick=quick, committed=committed
+    )
+    print(bench_envelopes.format_report(payload))
+    for problem in problems:
+        print(f"  FAIL: {problem}")
+    if output != "-":
+        _write_json(payload, output or "BENCH_envelopes.json")
+    return 1 if problems else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
-        description="Run the tracked CAC benchmarks and write BENCH_cac.json.",
+        description=(
+            "Run the tracked benchmarks (CAC and/or envelope kernels) and "
+            "write their committed JSON artifacts."
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller scenario, fewer rounds"
     )
     parser.add_argument(
+        "--suite",
+        choices=("cac", "envelopes", "all"),
+        default="cac",
+        help="which bench suite to run (default: cac)",
+    )
+    parser.add_argument(
         "--output",
         metavar="PATH",
-        default="BENCH_cac.json",
-        help="JSON output path (default BENCH_cac.json; '-' to skip)",
+        default=None,
+        help=(
+            "JSON output path (default BENCH_cac.json / BENCH_envelopes.json "
+            "per suite; '-' to skip)"
+        ),
+    )
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        default=None,
+        help=(
+            "(envelopes suite) committed BENCH_envelopes.json to compare the "
+            "exact-mode macro decision trajectory against; divergence fails"
+        ),
     )
     args = parser.parse_args(argv)
-    payload = run_benches(quick=args.quick)
-    print(format_report(payload))
-    if args.output != "-":
-        with open(args.output, "w") as fh:
-            json.dump(payload, fh, indent=2)
-            fh.write("\n")
-        print(f"\n[written to {args.output}]")
-    return 0 if payload["macro_decisions_identical"] else 1
+    rc = 0
+    if args.suite in ("cac", "all"):
+        out = args.output if args.suite == "cac" else None
+        rc |= _run_cac_suite(args.quick, out)
+    if args.suite in ("envelopes", "all"):
+        out = args.output if args.suite == "envelopes" else None
+        rc |= _run_envelope_suite(args.quick, out, args.check)
+    return rc
 
 
 if __name__ == "__main__":

@@ -84,6 +84,14 @@ class AnalysisConfig:
     #: least-recently-used, so long sweeps degrade gracefully instead of
     #: falling off a cold-cache cliff at the limit.
     stage_cache_size: int = 20_000
+    #: Optional accuracy-for-speed trade: cap every curve the analysis
+    #: propagates at this many segments via conservative coarsening
+    #: (arrival/output envelopes are rounded *up*, availability/service
+    #: curves rounded *down* — see ``Curve.coarsen``), so all delay and
+    #: backlog bounds remain valid upper bounds, merely looser.  ``None``
+    #: (the default) is exact mode: results are bit-identical to the
+    #: uncapped analysis and the figure-7/8 artifacts are unchanged.
+    coarsen_segments: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.envelope_horizon <= 0:
@@ -94,6 +102,8 @@ class AnalysisConfig:
             raise ConfigurationError("delay quantum must be non-negative")
         if self.stage_cache_size < 4:
             raise ConfigurationError("stage cache needs at least 4 entries")
+        if self.coarsen_segments is not None and self.coarsen_segments < 8:
+            raise ConfigurationError("coarsen_segments must be >= 8 (or None)")
 
 
 @dataclasses.dataclass(frozen=True)

@@ -266,6 +266,7 @@ class DelayAnalyzer:
                     ring_s.bandwidth,
                     buffer_bits=cfg.mac_buffer_bits,
                     name=f"mac-src:{load.spec.conn_id}",
+                    service_segments=self.analysis.coarsen_segments,
                 ),
             ),
             DedicatedStage(
@@ -367,6 +368,7 @@ class DelayAnalyzer:
                     ring_r.bandwidth,
                     buffer_bits=cfg.mac_buffer_bits,
                     name=f"mac-dst:{load.spec.conn_id}",
+                    service_segments=self.analysis.coarsen_segments,
                 ),
             ),
             DedicatedStage(
@@ -437,9 +439,21 @@ class DelayAnalyzer:
         return cached
 
     def _tidy(self, envelope: Curve) -> Curve:
+        """Simplify and (if over budget) conservatively coarsen an envelope.
+
+        Envelopes are *upper* bounds on traffic, so coarsening rounds them
+        up (``direction="upper"``) — every downstream delay/backlog bound
+        stays a valid upper bound.  The budget is ``max_envelope_segments``
+        in exact mode, tightened to ``coarsen_segments`` when the
+        accuracy-for-speed knob is set.
+        """
         envelope = envelope.simplify()
-        if len(envelope.xs) > self.analysis.max_envelope_segments:
-            envelope = envelope.coarsen(self.analysis.max_envelope_segments)
+        cap = self.analysis.max_envelope_segments
+        knob = self.analysis.coarsen_segments
+        if knob is not None and knob < cap:
+            cap = knob
+        if len(envelope.xs) > cap:
+            envelope = envelope.coarsen(cap, direction="upper")
         return envelope
 
     def _analyze_dedicated(self, stage: DedicatedStage, conn, envelope: Curve):
@@ -517,7 +531,10 @@ class DelayAnalyzer:
         hit = self._stage_cache.get(cache_key)
         if hit is None:
             delay, backlog, busy, shift = _analyze_port(
-                port, envelopes, delay_quantum=self.analysis.output_delay_quantum
+                port,
+                envelopes,
+                delay_quantum=self.analysis.output_delay_quantum,
+                coarsen_segments=self.analysis.coarsen_segments,
             )
             # Per-member outputs are memoized on (rate, envelope, shift):
             # the quantized shift takes few distinct values across a binary
@@ -667,7 +684,10 @@ class _ConnState:
 
 
 def _analyze_port(
-    port: OutputPortServer, envelopes: Dict[int, Curve], delay_quantum: float = 0.0
+    port: OutputPortServer,
+    envelopes: Dict[int, Curve],
+    delay_quantum: float = 0.0,
+    coarsen_segments: Optional[int] = None,
 ):
     """Analyze a FIFO port once for all its participants.
 
@@ -676,6 +696,10 @@ def _analyze_port(
     advanced by ``shift`` (the delay rounded up to ``delay_quantum``, which
     is conservative) capped at link rate — computed by the caller so equal
     envelopes can share one output.
+
+    With ``coarsen_segments`` set, the *aggregate* arrival envelope is
+    conservatively rounded up to that many segments before the deviation
+    analysis — the per-connection inputs and outputs are untouched.
     """
     from repro.envelopes.curve import sum_curves
     from repro.envelopes.operations import (
@@ -687,6 +711,8 @@ def _analyze_port(
     import math
 
     aggregate = sum_curves(envelopes.values())
+    if coarsen_segments is not None and len(aggregate.xs) > coarsen_segments:
+        aggregate = aggregate.coarsen(coarsen_segments, direction="upper")
     service = port.service_curve()
     if aggregate.final_slope > port.service_rate * (1 + 1e-12):
         raise UnstableSystemError(

@@ -14,7 +14,7 @@ all produce curves of the same class, computed exactly (no sampling grid).
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -49,7 +49,7 @@ class Curve:
     Instances are immutable; all operations return new curves.
     """
 
-    __slots__ = ("xs", "ys", "slopes", "_xs_list", "_fingerprint")
+    __slots__ = ("xs", "ys", "slopes", "_lists", "_fingerprint")
 
     def __init__(
         self,
@@ -84,10 +84,18 @@ class Curve:
         self.xs = xs_arr
         self.ys = ys_arr
         self.slopes = slopes_arr
-        # Scalar-evaluation fast path (bisect on a plain list is much faster
-        # than numpy searchsorted for single points).
-        self._xs_list = xs_arr.tolist()
+        # Scalar-evaluation fast path: plain Python lists, materialized on
+        # first scalar use (bisect + float arithmetic beats numpy indexing
+        # for single points, and intermediate curves never pay for it).
+        self._lists = None
         self._fingerprint = None
+
+    def _as_lists(self) -> Tuple[List[float], List[float], List[float]]:
+        lists = self._lists
+        if lists is None:
+            lists = (self.xs.tolist(), self.ys.tolist(), self.slopes.tolist())
+            self._lists = lists
+        return lists
 
     # ------------------------------------------------------------------
     # Constructors
@@ -137,20 +145,30 @@ class Curve:
         """
         if not points:
             raise CurveError("need at least one point")
-        xs: List[float] = []
-        ys: List[float] = []
-        slopes: List[float] = []
-        for idx, (x, y) in enumerate(points):
-            xs.append(float(x))
-            ys.append(float(y))
-            if idx + 1 < len(points):
-                nx, ny = points[idx + 1]
-                dx = nx - x
-                if dx <= 0:
-                    raise CurveError("points must have strictly increasing x")
-                slopes.append((ny - y) / dx)
-            else:
-                slopes.append(float(final_slope))
+        xs = np.asarray([p[0] for p in points], dtype=float)
+        ys = np.asarray([p[1] for p in points], dtype=float)
+        return Curve.from_breakpoints(xs, ys, final_slope)
+
+    @staticmethod
+    def from_breakpoints(
+        xs: np.ndarray, ys: np.ndarray, final_slope: float
+    ) -> "Curve":
+        """Vectorized :meth:`from_points` over parallel coordinate arrays.
+
+        Interior slopes are the divided differences ``(y[i+1] - y[i]) /
+        (x[i+1] - x[i])``; the final segment continues with ``final_slope``.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if len(xs) == 0:
+            raise CurveError("need at least one point")
+        slopes = np.empty_like(xs)
+        if len(xs) > 1:
+            dx = np.diff(xs)
+            if np.any(dx <= 0):
+                raise CurveError("points must have strictly increasing x")
+            slopes[:-1] = np.diff(ys) / dx
+        slopes[-1] = float(final_slope)
         return Curve(xs, ys, slopes)
 
     # ------------------------------------------------------------------
@@ -162,13 +180,15 @@ class Curve:
         if isinstance(t, (int, float)):
             if t < 0:
                 return 0.0
-            i = bisect_right(self._xs_list, t) - 1
+            xs, ys, slopes = self._as_lists()
+            i = bisect_right(xs, t) - 1
             if i < 0:
                 i = 0
-            return self.ys[i] + self.slopes[i] * (t - self.xs[i])
+            return ys[i] + slopes[i] * (t - xs[i])
         t_arr = np.asarray(t, dtype=float)
         idx = np.searchsorted(self.xs, t_arr, side="right") - 1
-        np.clip(idx, 0, len(self.xs) - 1, out=idx)
+        # searchsorted lands in [-1, n-1]; only the lower bound needs a clamp.
+        np.maximum(idx, 0, out=idx)
         vals = self.ys[idx] + self.slopes[idx] * (t_arr - self.xs[idx])
         # For t < 0 the curve is 0 by convention.
         vals = np.where(t_arr < 0, 0.0, vals)
@@ -181,16 +201,19 @@ class Curve:
         return float(self(t))
 
     def left_limit(self, t: float) -> float:
-        """The left limit ``lim_{s -> t^-} curve(s)`` (0 at t <= 0)."""
+        """The left limit ``lim_{s -> t^-} curve(s)`` (0 at t <= 0).
+
+        At a breakpoint ``t == xs[i+1]`` the ``side="left"`` bisection lands
+        on segment ``i``, so the value comes from the segment *before* the
+        jump — exactly the left limit.
+        """
         if t <= 0:
             return 0.0
-        i = int(np.searchsorted(self.xs, t, side="left")) - 1
+        xs, ys, slopes = self._as_lists()
+        i = bisect_left(xs, t) - 1
         if i < 0:
             return 0.0
-        if i + 1 < len(self.xs) and _is_close(self.xs[i + 1], t):
-            # t is exactly at breakpoint i+1: left limit comes from segment i.
-            pass
-        return float(self.ys[i] + self.slopes[i] * (t - self.xs[i]))
+        return ys[i] + slopes[i] * (t - xs[i])
 
     @property
     def final_slope(self) -> float:
@@ -203,8 +226,15 @@ class Curve:
         return float(self.xs[-1])
 
     def breakpoints(self) -> np.ndarray:
-        """The x-coordinates of all breakpoints (copy)."""
-        return self.xs.copy()
+        """The x-coordinates of all breakpoints.
+
+        Returns the curve's own contiguous float64 array *without copying*
+        (the hot kernels share these arrays freely).  Treat it as
+        read-only: in-place mutation would corrupt the immutable curve and
+        every cache holding it.  reprolint RL004 flags mutation of names
+        bound from this call.
+        """
+        return self.xs
 
     def fingerprint(self) -> int:
         """A content hash, used for memoizing analyses keyed by envelope."""
@@ -219,9 +249,27 @@ class Curve:
 
         Returns ``math.inf`` when the curve never reaches ``y``.  Because the
         curve is non-decreasing, the first segment whose span covers ``y``
-        can be found by binary search on the breakpoint values.
+        can be found by binary search on the breakpoint values.  Scalar fast
+        path of :meth:`pseudo_inverse_many` (same arithmetic, no arrays).
         """
-        return float(self.pseudo_inverse_many(np.asarray([y]))[0])
+        xs, ys, slopes = self._as_lists()
+        if y <= ys[0]:
+            return 0.0
+        n = len(xs)
+        # i0 = index of the first breakpoint whose (right) value >= y; here
+        # i0 >= 1 because y > ys[0].
+        i0 = bisect_left(ys, y)
+        # Default answer: the jump at breakpoint i0 (or inf past the end).
+        out = xs[i0] if i0 < n else math.inf
+        # Segment j = i0 - 1 may climb to y before breakpoint i0.
+        j = i0 - 1
+        slope_j = slopes[j]
+        if slope_j > EPS:
+            t_seg = xs[j] + (y - ys[j]) / slope_j
+            seg_end = xs[j + 1] if j + 1 < n else math.inf
+            if t_seg <= seg_end:
+                return t_seg
+        return out
 
     def pseudo_inverse_many(self, values: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`pseudo_inverse` for an array of values."""
@@ -232,7 +280,7 @@ class Curve:
         # Default answer: the jump at breakpoint i0 (or inf past the end).
         out = np.where(i0 < n, self.xs[np.minimum(i0, n - 1)], math.inf)
         # Segment j = i0 - 1 may climb to y before breakpoint i0.
-        j = np.clip(i0 - 1, 0, n - 1)
+        j = np.maximum(i0 - 1, 0)
         slope_j = self.slopes[j]
         safe_slope = np.where(slope_j > EPS, slope_j, 1.0)
         t_seg = self.xs[j] + (values - self.ys[j]) / safe_slope
@@ -257,8 +305,7 @@ class Curve:
             return NotImplemented
         xs = self._merged_xs(other)
         ys = self(xs) + other(xs)
-        slopes = np.empty_like(xs)
-        slopes[:] = _slopes_at(self, xs) + _slopes_at(other, xs)
+        slopes = _slopes_at(self, xs) + _slopes_at(other, xs)
         return Curve(xs, ys, slopes, validate=False).simplify()
 
     __radd__ = __add__
@@ -308,7 +355,7 @@ class Curve:
         ys = np.concatenate([[first_val], self.ys[keep]])
         # Slope at t=0 of the new curve is the slope of the segment containing
         # `advance` in the old curve.
-        i = int(np.searchsorted(self.xs, advance, side="right")) - 1
+        i = bisect_right(self._as_lists()[0], advance) - 1
         slopes = np.concatenate([[self.slopes[i]], self.slopes[keep]])
         return Curve(xs, ys, slopes, validate=False)
 
@@ -353,34 +400,50 @@ class Curve:
             self.xs[keep], self.ys[keep], self.slopes[keep], validate=False
         )
 
-    def coarsen(self, max_segments: int) -> "Curve":
-        """Return a *conservative upper bound* with at most ``max_segments``.
+    def coarsen(self, max_segments: int, direction: str = "upper") -> "Curve":
+        """Return a *conservative approximation* with at most ``max_segments``.
 
         Used to keep breakpoint counts bounded when envelopes accumulate
-        structure across many servers.  The result dominates the original
-        curve everywhere, so downstream delay bounds remain valid (they may
-        only become slightly more pessimistic).
+        structure across many servers.  The rounding side depends on what
+        the curve models:
+
+        * ``direction="upper"`` (arrival envelopes) — the result dominates
+          the original everywhere, so admitted traffic is over-estimated and
+          downstream delay bounds remain valid (only more pessimistic);
+        * ``direction="lower"`` (service/availability curves) — the result
+          is dominated by the original everywhere, so guaranteed service is
+          under-estimated, which is again the safe side for delay bounds.
+
+        Both sides keep an evenly-spread subset of breakpoints and replace
+        each inter-breakpoint span by a constant: the original's supremum
+        over the span (its left limit at the next kept breakpoint) for the
+        upper side, its infimum (the right value at the span's start) for
+        the lower side.  From the last kept breakpoint onwards the coarse
+        curve equals the original exactly, so the long-term rate — and with
+        it every stability check — is preserved.
         """
         if len(self.xs) <= max_segments:
             return self
-        # Keep an evenly-spread subset of breakpoints.  On each interval
-        # between kept breakpoints the coarse curve is the *constant* equal to
-        # the original's supremum over the interval (its left limit at the
-        # next kept breakpoint) — a staircase that dominates the original
-        # because the original is non-decreasing.  From the last kept
-        # breakpoint onwards the coarse curve equals the original exactly.
+        if direction not in ("upper", "lower"):
+            raise CurveError(f"unknown coarsening direction {direction!r}")
         idx = np.unique(np.linspace(0, len(self.xs) - 1, max_segments).astype(int))
         new_xs = self.xs[idx]
-        new_ys = np.empty(len(idx))
         new_slopes = np.zeros(len(idx))
-        new_ys[:-1] = _left_limits_at(self, self.xs[idx[1:]])
-        new_ys[-1] = self.ys[idx[-1]]
         new_slopes[-1] = self.slopes[idx[-1]]
-        ys_arr = np.maximum.accumulate(new_ys)
+        if direction == "upper":
+            new_ys = np.empty(len(idx))
+            new_ys[:-1] = _left_limits_at(self, self.xs[idx[1:]])
+            new_ys[-1] = self.ys[idx[-1]]
+            ys_arr = np.maximum.accumulate(new_ys)
+        else:
+            # The right value at each kept breakpoint is a lower bound for
+            # the whole span to the next one (the curve is non-decreasing).
+            ys_arr = self.ys[idx]
         # Merge only *exactly* collinear breakpoints (tol=0): a tolerant
         # simplify may absorb the final segment's small positive slope into
         # a flat predecessor, and the coarse curve would eventually dip
-        # below the original — breaking the domination contract.
+        # below (upper) or rise above (lower) the original — breaking the
+        # conservativeness contract.
         return Curve(new_xs, ys_arr, new_slopes, validate=False).simplify(tol=0.0)
 
     # ------------------------------------------------------------------
@@ -388,19 +451,28 @@ class Curve:
     # ------------------------------------------------------------------
 
     def dominates(self, other: "Curve", tol: float = 1e-6) -> bool:
-        """True if ``self(t) >= other(t) - tol`` for all t."""
+        """True if ``self(t) >= other(t) - tol`` for all t.
+
+        The tolerance is scaled *symmetrically* — by the larger magnitude of
+        the two curves at each checkpoint — so ``a.dominates(b)`` and
+        ``b.dominates(a)`` agree on near-equal curves regardless of operand
+        order (RL003: never let a float comparison depend on which side the
+        rounding noise landed on).
+        """
         xs = np.union1d(self.xs, other.xs)
         if self.final_slope < other.final_slope - EPS:
             return False
         # Check right values and left limits at all breakpoints.
         vals_self = self(xs)
         vals_other = other(xs)
-        scale = np.maximum(1.0, np.abs(vals_other))
+        scale = np.maximum(1.0, np.maximum(np.abs(vals_self), np.abs(vals_other)))
         if np.any(vals_self < vals_other - tol * scale):
             return False
         ll_self = _left_limits_at(self, xs[1:])
         ll_other = _left_limits_at(other, xs[1:])
-        scale_ll = np.maximum(1.0, np.abs(ll_other))
+        scale_ll = np.maximum(
+            1.0, np.maximum(np.abs(ll_self), np.abs(ll_other))
+        )
         return not np.any(ll_self < ll_other - tol * scale_ll)
 
     def equals(self, other: "Curve", tol: float = 1e-9) -> bool:
@@ -435,7 +507,7 @@ class Curve:
 def _left_limits_at(curve: Curve, xs: np.ndarray) -> np.ndarray:
     """Vectorized left limits of ``curve`` at each x (0 for x <= 0)."""
     idx = np.searchsorted(curve.xs, xs, side="left") - 1
-    idx = np.clip(idx, 0, len(curve.xs) - 1)
+    np.maximum(idx, 0, out=idx)
     vals = curve.ys[idx] + curve.slopes[idx] * (xs - curve.xs[idx])
     return np.where(xs <= 0, 0.0, vals)
 
@@ -447,7 +519,7 @@ def _slopes_at(curve: Curve, xs: np.ndarray) -> np.ndarray:
     last breakpoint the final slope applies.
     """
     idx = np.searchsorted(curve.xs, xs, side="right") - 1
-    idx = np.clip(idx, 0, len(curve.xs) - 1)
+    np.maximum(idx, 0, out=idx)
     return curve.slopes[idx]
 
 
@@ -488,13 +560,20 @@ def _combine(a: Curve, b: Curve, chooser) -> Curve:
 
 
 def sum_curves(curves: Iterable[Curve]) -> Curve:
-    """Sum an iterable of curves (the aggregate envelope at a multiplexer)."""
+    """Sum an iterable of curves (the aggregate envelope at a multiplexer).
+
+    The merged breakpoint grid is built in one n-ary merge (a single sort
+    over the concatenated breakpoints) instead of pairwise ``union1d``
+    folds; each curve is then evaluated once over that grid.  Accumulation
+    stays in input order so the float sums match a sequential fold exactly.
+    """
     curves = list(curves)
     if not curves:
         return Curve.zero()
-    xs = curves[0].xs
-    for c in curves[1:]:
-        xs = np.union1d(xs, c.xs)
+    if len(curves) == 1:
+        xs = curves[0].xs
+    else:
+        xs = np.unique(np.concatenate([c.xs for c in curves]))
     ys = np.zeros_like(xs)
     slopes = np.zeros_like(xs)
     for c in curves:

@@ -45,29 +45,29 @@ def busy_interval(arrival: Curve, service: Curve, t_max: float = math.inf) -> fl
     """
     xs = np.union1d(arrival.xs, service.xs)
     xs = xs[xs <= t_max]
-    prev_x: Optional[float] = None
-    prev_diff: Optional[float] = None
-    for x in xs:
-        a_val = float(arrival(x))
-        diff = a_val - float(service(x))
-        tol = 1e-9 * max(1.0, abs(a_val))
-        if x > 0 and diff <= tol:
-            # Crossed (or touched) within the previous segment or exactly
-            # at this breakpoint.  Locate the crossing inside (prev_x, x).
-            if prev_x is not None and prev_diff is not None and prev_diff > tol:
-                sa = float(_slopes_at(arrival, np.array([prev_x]))[0])
-                ss = float(_slopes_at(service, np.array([prev_x]))[0])
+    if len(xs):
+        a_vals = arrival(xs)
+        diff = a_vals - service(xs)
+        tol = 1e-9 * np.maximum(1.0, np.abs(a_vals))
+        hits = (xs > 0) & (diff <= tol)
+        if hits.any():
+            # First breakpoint at which the service has caught up; locate
+            # the crossing inside the preceding segment when the arrival
+            # was still ahead there.
+            k = int(np.argmax(hits))
+            x = float(xs[k])
+            if k >= 1 and float(diff[k - 1]) > float(tol[k]):
+                sa = float(_slopes_at(arrival, xs[k - 1 : k])[0])
+                ss = float(_slopes_at(service, xs[k - 1 : k])[0])
                 dslope = sa - ss
                 if dslope < -EPS:
-                    t_cross = prev_x - prev_diff / dslope
+                    t_cross = float(xs[k - 1]) - float(diff[k - 1]) / dslope
                     # The crossing may occur before the breakpoint (inside
                     # the open segment) only if both curves are continuous
                     # there; a jump in S at `x` can also close the gap.
                     if t_cross < x - EPS:
                         return float(t_cross)
-                return float(x)
-            return float(x)
-        prev_x, prev_diff = float(x), diff
+            return x
     # Beyond the last breakpoint both curves are affine.
     x0 = float(xs[-1]) if len(xs) else 0.0
     a0 = float(arrival(x0))
@@ -127,7 +127,7 @@ def horizontal_deviation(
     # limits at service jumps and a nudge past each candidate cover suprema
     # that are approached but not attained.
     service_levels = np.concatenate(
-        [service.ys, [service.left_limit(float(x)) for x in service.xs[1:]]]
+        [service.ys, _left_limits_at(service, service.xs[1:])]
     )
     crossing_ts = arrival.pseudo_inverse_many(service_levels)
     crossing_ts = crossing_ts[np.isfinite(crossing_ts)]
@@ -163,8 +163,8 @@ def token_bucket_majorant(curve: Curve) -> Tuple[float, float]:
     rho = curve.final_slope
     xs = curve.xs
     sigma = float(np.max(curve(xs) - rho * xs))
-    lefts = _left_limits_at(curve, xs[1:]) - rho * xs[1:] if len(xs) > 1 else []
     if len(xs) > 1:
+        lefts = _left_limits_at(curve, xs[1:]) - rho * xs[1:]
         sigma = max(sigma, float(np.max(lefts)))
     return max(0.0, sigma), rho
 
@@ -207,42 +207,45 @@ def deconvolve(
     # breakpoints of A shifted by each candidate I — equivalently, we build
     # the candidate I grid from pairwise differences and evaluate the sup by
     # scanning t candidates per I.
-    t_cands = [0.0, t_limit]
-    t_cands.extend(float(x) for x in service.xs if 0.0 < x < t_limit)
+    inner = service.xs[(service.xs > 0.0) & (service.xs < t_limit)]
     # The supremum can sit just *before* a service jump (where S is still at
     # its left limit); nudged candidates capture it to within the nudge.
-    for x in list(service.xs) + [t_limit]:
-        x = float(x)
-        if 0.0 < x <= t_limit:
-            t_cands.append(max(0.0, x - 1e-9 * max(1.0, x)))
-    t_cands = sorted(set(t_cands))
+    nudge_src = np.concatenate([service.xs, [t_limit]])
+    nudge_src = nudge_src[(nudge_src > 0.0) & (nudge_src <= t_limit)]
+    nudged = np.maximum(0.0, nudge_src - 1e-9 * np.maximum(1.0, nudge_src))
+    t_base = np.unique(np.concatenate([[0.0, t_limit], inner, nudged]))
 
-    i_cands = {0.0, float(i_max)}
-    for ax in arrival.xs:
-        for t in t_cands:
-            d = float(ax) - t
-            if 0.0 < d < i_max:
-                i_cands.add(d)
-        if 0.0 < ax < i_max:
-            i_cands.add(float(ax))
-    i_grid = sorted(i_cands)
-    thinned = len(i_grid) > max_breakpoints
+    # Candidate I grid: pairwise differences ax - t, plus the arrival
+    # breakpoints themselves, clipped to (0, i_max).
+    diffs = (arrival.xs[:, None] - t_base[None, :]).ravel()
+    diffs = diffs[(diffs > 0.0) & (diffs < i_max)]
+    ax_inner = arrival.xs[(arrival.xs > 0.0) & (arrival.xs < i_max)]
+    i_arr = np.unique(np.concatenate([[0.0, float(i_max)], diffs, ax_inner]))
+    thinned = len(i_arr) > max_breakpoints
     if thinned:
         # Thin the grid but always keep the endpoints.
-        step = len(i_grid) / float(max_breakpoints)
-        idx = sorted({0, len(i_grid) - 1} | {int(k * step) for k in range(max_breakpoints)})
-        i_grid = [i_grid[k] for k in idx]
-
-    t_base = np.asarray(t_cands)
-    i_arr = np.asarray(i_grid)
+        step = len(i_arr) / float(max_breakpoints)
+        idx = sorted({0, len(i_arr) - 1} | {int(k * step) for k in range(max_breakpoints)})
+        i_arr = i_arr[np.asarray(idx)]
 
     # Branch 1 (service-relative candidates): sup over t in t_base of
-    # A(t + I) - S(t), vectorized as a |I| x |t| matrix.
+    # A(t + I) - S(t), vectorized as a |I| x |t| matrix.  The evaluation of
+    # A is inlined (all candidates are >= 0, so ``__call__``'s negative-t
+    # clamp is a no-op) and chunked over I rows so the temporaries stay
+    # cache-resident: the row maximum is order-independent and every
+    # elementwise operation is unchanged, so the result is bit-identical
+    # to the unchunked form.
     s_base = service(t_base)
-    a_matrix = arrival((t_base[None, :] + i_arr[:, None]).ravel()).reshape(
-        len(i_arr), len(t_base)
-    )
-    values = np.max(a_matrix - s_base[None, :], axis=1)
+    n_t = len(t_base)
+    values = np.empty(len(i_arr))
+    axs, ays, aslopes = arrival.xs, arrival.ys, arrival.slopes
+    chunk = max(1, 262144 // max(1, n_t))
+    for lo in range(0, len(i_arr), chunk):
+        pts = t_base[None, :] + i_arr[lo:lo + chunk, None]
+        idx = np.searchsorted(axs, pts, side="right") - 1
+        np.maximum(idx, 0, out=idx)
+        a_matrix = ays[idx] + aslopes[idx] * (pts - axs[idx])
+        values[lo:lo + chunk] = np.max(a_matrix - s_base[None, :], axis=1)
 
     # Branch 2 (arrival-relative candidates): t = ax - I for each arrival
     # breakpoint ax; there A jumps to its right value ys[k].
@@ -260,13 +263,11 @@ def deconvolve(
         # Linear interpolation between thinned samples could undercut the
         # true (non-decreasing) function; a right-continuous staircase
         # through the *next* sample dominates it everywhere.
-        xs = np.asarray(i_grid)
         ys = np.concatenate([values[1:], values[-1:]])
         slopes = np.concatenate(
-            [np.zeros(len(xs) - 1), [arrival.final_slope]]
+            [np.zeros(len(i_arr) - 1), [arrival.final_slope]]
         )
-        return Curve(xs, ys, slopes, validate=False).simplify()
+        return Curve(i_arr, ys, slopes, validate=False).simplify()
 
-    points = list(zip(i_grid, values))
-    out = Curve.from_points(points, final_slope=arrival.final_slope)
+    out = Curve.from_breakpoints(i_arr, values, final_slope=arrival.final_slope)
     return out.simplify()

@@ -10,17 +10,49 @@ the *safe* side:
   conservative;
 * arrival staircases continue with a tail that never falls below the true
   staircase — arrivals are over-estimated, again conservative.
+
+All constructors build their breakpoint/value/slope arrays with vectorized
+numpy expressions; ``ceiling_quantize`` additionally batches its
+pseudo-inverse queries over the whole integer frame-level grid instead of
+one scalar bisection per level (see the function's docstring for why its
+sequential driver loop is retained).
 """
 
 from __future__ import annotations
 
 import math
-from typing import List
+from functools import lru_cache
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.envelopes.curve import Curve
 from repro.errors import CurveError
+
+
+@lru_cache(maxsize=512)
+def _timed_token_staircase_cached(
+    sync_bandwidth_time: float,
+    ttrt: float,
+    ring_bandwidth: float,
+    n_steps: int,
+) -> Curve:
+    """Memoized staircase construction (curves are immutable, sharing is safe).
+
+    The MAC-server analysis rebuilds the same availability staircase for every
+    (station, n_steps) refinement; the parameter tuple is tiny and hashable so
+    an LRU cache removes the rebuild cost entirely.
+    """
+    step_bits = sync_bandwidth_time * ring_bandwidth
+    n_steps = max(2, int(n_steps))
+    # Exact steps k = 2 .. n_steps+1: x = k*TTRT, y = (k-1)*H*BW.
+    ks = np.arange(2.0, n_steps + 2.0)
+    last_k = n_steps + 1
+    xs = np.concatenate([[0.0], ks * ttrt, [(last_k + 1) * ttrt]])
+    ys = np.concatenate([[0.0], (ks - 1.0) * step_bits, [(last_k - 1) * step_bits]])
+    slopes = np.zeros(len(xs))
+    slopes[-1] = step_bits / ttrt
+    return Curve(xs, ys, slopes, validate=False)
 
 
 def timed_token_staircase(
@@ -36,6 +68,10 @@ def timed_token_staircase(
     is guaranteed ``H * BW`` bits in every full TTRT window, with up to two
     windows of dead time at the start (worst-case token position).
 
+    The affine tail beyond ``n_steps`` exact steps is the line through the
+    *left corners* of subsequent steps — it touches the staircase from below,
+    so results stay safe if the busy interval outruns the horizon.
+
     Parameters
     ----------
     sync_bandwidth_time:
@@ -45,31 +81,15 @@ def timed_token_staircase(
     ring_bandwidth:
         ``BW_FDDI`` in bits/second.
     n_steps:
-        Number of exact steps before the conservative affine tail (the tail
-        under-estimates the staircase, so results stay safe if the busy
-        interval outruns the horizon).
+        Number of exact steps before the conservative affine tail.
     """
     if sync_bandwidth_time < 0 or ttrt <= 0 or ring_bandwidth <= 0:
         raise CurveError("timed-token staircase needs positive parameters")
-    step_bits = sync_bandwidth_time * ring_bandwidth
-    if step_bits == 0:
+    if sync_bandwidth_time * ring_bandwidth == 0:
         return Curve.zero()
-    n_steps = max(2, int(n_steps))
-    xs: List[float] = [0.0]
-    ys: List[float] = [0.0]
-    slopes: List[float] = [0.0]
-    for k in range(2, n_steps + 2):
-        xs.append(k * ttrt)
-        ys.append((k - 1) * step_bits)
-        slopes.append(0.0)
-    # Affine tail: line through the *left corners* of subsequent steps —
-    # touches the staircase from below.  It starts one period after the last
-    # exact step so it never overtakes the current plateau.
-    last_k = n_steps + 1
-    xs.append((last_k + 1) * ttrt)
-    ys.append((last_k - 1) * step_bits)
-    slopes.append(step_bits / ttrt)
-    return Curve(xs, ys, slopes, validate=False)
+    return _timed_token_staircase_cached(
+        float(sync_bandwidth_time), float(ttrt), float(ring_bandwidth), int(n_steps)
+    )
 
 
 def periodic_burst_staircase(
@@ -97,38 +117,37 @@ def periodic_burst_staircase(
         raise CurveError("peak rate must be positive")
     n_periods = max(1, int(n_periods))
     rate = burst_bits / period
+    ks = np.arange(float(n_periods))
     if math.isinf(peak_rate):
-        xs = [k * period for k in range(n_periods)]
-        ys = [(k + 1) * burst_bits for k in range(n_periods)]
-        slopes = [0.0] * n_periods
         # Tail through step tops: A(t) <= C * (t/P + 1) with equality at jumps.
-        xs.append(n_periods * period)
-        ys.append((n_periods + 1) * burst_bits)
-        slopes.append(rate)
+        xs = np.concatenate([ks * period, [n_periods * period]])
+        ys = np.concatenate([(ks + 1.0) * burst_bits, [(n_periods + 1) * burst_bits]])
+        slopes = np.zeros(n_periods + 1)
+        slopes[-1] = rate
         return Curve(xs, ys, slopes, validate=False)
     ramp_time = burst_bits / peak_rate
     if ramp_time >= period:
         # The source cannot even emit C within P at this peak rate: it is a
         # plain constant-rate source at the peak rate capped by C per period.
         return Curve.affine(0.0, min(peak_rate, rate))
-    xs = []
-    ys = []
-    slopes = []
-    for k in range(n_periods):
-        start = k * period
-        xs.append(start)
-        ys.append(k * burst_bits)
-        slopes.append(peak_rate)
-        xs.append(start + ramp_time)
-        ys.append((k + 1) * burst_bits)
-        slopes.append(0.0)
+    # Interleaved ramp starts and plateau starts, two breakpoints per period.
+    starts = ks * period
+    xs = np.empty(2 * n_periods + 1)
+    ys = np.empty(2 * n_periods + 1)
+    slopes = np.empty(2 * n_periods + 1)
+    xs[0:-1:2] = starts
+    xs[1:-1:2] = starts + ramp_time
+    ys[0:-1:2] = ks * burst_bits
+    ys[1:-1:2] = (ks + 1.0) * burst_bits
+    slopes[0:-1:2] = peak_rate
+    slopes[1:-1:2] = 0.0
     # Beyond the horizon, switch to the affine majorant C + rate * t (the
     # standard token-bucket bound for this source), which dominates the true
     # envelope everywhere, so the switch jump is upward.
     switch_x = n_periods * period
-    xs.append(switch_x)
-    ys.append(burst_bits + rate * switch_x)
-    slopes.append(rate)
+    xs[-1] = switch_x
+    ys[-1] = burst_bits + rate * switch_x
+    slopes[-1] = rate
     return Curve(xs, ys, slopes, validate=False)
 
 
@@ -150,6 +169,17 @@ def ceiling_quantize(
     ``max_steps`` steps, the function falls back to the conservative linear
     bound ``g <= f * (q_out / q_in) + q_out`` (one extra frame of slack),
     which dominates the staircase everywhere.
+
+    Implementation note: frame levels visited by the sequential driver are
+    integers except (at most) the very first one, so the per-level
+    pseudo-inverse and evaluation queries are batched over the whole integer
+    level grid up front (one vectorized ``pseudo_inverse_many`` call instead
+    of one scalar bisection per level).  The driver loop itself must stay
+    sequential — each level's threshold depends on the previous ``new_level``
+    through the burst-merge and forced-increment rules — but with the grid
+    precomputed it does O(1) work per visited level.  A scalar fallback
+    handles non-integer levels so the output is bit-identical to the
+    sequential reference in every case.
     """
     if quantum_in <= 0 or quantum_out <= 0:
         raise CurveError("quantization needs positive quanta")
@@ -157,17 +187,54 @@ def ceiling_quantize(
     if not math.isfinite(total_steps) or total_steps > max_steps:
         return _linear_quantize_bound(curve, quantum_in, quantum_out)
 
-    xs: List[float] = [0.0]
-    ys: List[float] = [math.ceil(_round_safe(curve(0.0) / quantum_in)) * quantum_out]
-    slopes: List[float] = [0.0]
+    eps_q = 1e-9 * max(1.0, quantum_in)
+    lvl0 = math.ceil(_round_safe(curve(0.0) / quantum_in))
+
+    # Precompute (t_next, new_level) for every integer level the driver can
+    # visit.  Thresholds use float(L) * quantum_in, identical to the scalar
+    # expression for Python-int and integer-float levels alike.
+    n_levels = max(1, int(math.ceil(total_steps)) + 4 - lvl0)
+    levels_f = np.arange(lvl0, lvl0 + n_levels, dtype=np.int64).astype(float)
+    t_grid = curve.pseudo_inverse_many(levels_f * quantum_in + eps_q)
+    live = np.isfinite(t_grid) & (t_grid <= t_max)
+    cand_grid = np.zeros(n_levels)
+    if live.any():
+        ratios = curve(t_grid[live]) / quantum_in
+        nearest = np.round(ratios)
+        snapped = np.where(
+            np.abs(ratios - nearest) < 1e-9 * np.maximum(1.0, np.abs(ratios)),
+            nearest,
+            ratios,
+        )
+        cand_grid[live] = np.ceil(snapped)
+
+    def _step(level: float) -> Optional[Tuple[float, float]]:
+        """One driver step: (t_next, new_level) at `level`, None past t_max."""
+        if float(level).is_integer():
+            k = int(level) - lvl0
+            if 0 <= k < n_levels:
+                if not live[k]:
+                    return None
+                return float(t_grid[k]), float(cand_grid[k])
+        # Non-integer level (possible only on the first iteration, for
+        # quanta where lvl0 * q_out / q_out is not exact) or out-of-grid:
+        # scalar reference path.
+        threshold = level * quantum_in + eps_q
+        t_next = curve.pseudo_inverse(threshold)
+        if not math.isfinite(t_next) or t_next > t_max:
+            return None
+        return t_next, float(math.ceil(_round_safe(curve(t_next) / quantum_in)))
+
+    xs = [0.0]
+    ys = [lvl0 * quantum_out]
+    slopes = [0.0]
     level = ys[0] / quantum_out  # current number of whole frames
     while True:
         # First time the input strictly exceeds `level` frames.
-        threshold = level * quantum_in + 1e-9 * max(1.0, quantum_in)
-        t_next = curve.pseudo_inverse(threshold)
-        if not math.isfinite(t_next) or t_next > t_max:
+        step = _step(level)
+        if step is None:
             break
-        new_level = math.ceil(_round_safe(curve(t_next) / quantum_in))
+        t_next, new_level = step
         if new_level <= level:
             new_level = level + 1
         if t_next <= xs[-1] + 1e-15:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -15,14 +16,13 @@ def build_settings(args) -> ExperimentSettings:
         base = ExperimentSettings.quick()
     else:
         base = ExperimentSettings()
+    overrides = {}
     if args.no_calibration:
-        base = ExperimentSettings(
-            n_requests=base.n_requests,
-            warmup_requests=base.warmup_requests,
-            seeds=base.seeds,
-            calibrate_load=False,
-            network=base.network,
-        )
+        overrides["calibrate_load"] = False
+    if args.coarsen is not None:
+        overrides["coarsen_segments"] = args.coarsen
+    if overrides:
+        base = dataclasses.replace(base, **overrides)
     return base
 
 
@@ -64,6 +64,15 @@ def main(argv=None) -> int:
         metavar="N",
         help="run sweep points over N worker processes (results are "
         "bit-identical to a serial run; default 1)",
+    )
+    parser.add_argument(
+        "--coarsen",
+        type=int,
+        default=None,
+        metavar="SEGMENTS",
+        help="cap analysis curves at SEGMENTS breakpoints via one-sided "
+        "conservative coarsening (faster, strictly more conservative "
+        "admission; default: exact mode, bit-reproducible output)",
     )
     args = parser.parse_args(argv)
     settings = build_settings(args)

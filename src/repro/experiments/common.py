@@ -3,9 +3,14 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.config import NetworkConfig, SimulationConfig
+from repro.config import (
+    AnalysisConfig,
+    CACConfig,
+    NetworkConfig,
+    SimulationConfig,
+)
 
 #: Offered-load calibration used by default (see SimulationConfig.load_scale
 #: and EXPERIMENTS.md): one scalar fitted so that AP(U=0.3, beta=0.5) lands
@@ -22,10 +27,31 @@ class ExperimentSettings:
     seeds: Tuple[int, ...] = (1, 2, 3)
     calibrate_load: bool = True
     network: NetworkConfig = dataclasses.field(default_factory=NetworkConfig)
+    #: Optional accuracy-for-speed trade (``--coarsen`` on the CLI): cap
+    #: every analysis curve at this many segments via one-sided coarsening
+    #: (see AnalysisConfig.coarsen_segments).  ``None`` — the default — is
+    #: exact mode, whose figure CSVs are bit-reproducible; a finite cap
+    #: makes admission strictly more conservative but much faster at high
+    #: load.
+    coarsen_segments: Optional[int] = None
 
     def simulation_config(self) -> SimulationConfig:
         scale = CALIBRATED_LOAD_SCALE if self.calibrate_load else 1.0
         return SimulationConfig(load_scale=scale)
+
+    def cac_config(self, beta: float) -> Optional[CACConfig]:
+        """The CAC override for one sweep point (None in exact mode).
+
+        Returning ``None`` lets the simulator build its default
+        ``CACConfig(beta=beta)``, keeping exact-mode runs on the untouched
+        (bit-reproducible) code path.
+        """
+        if self.coarsen_segments is None:
+            return None
+        return CACConfig(
+            beta=beta,
+            analysis=AnalysisConfig(coarsen_segments=self.coarsen_segments),
+        )
 
     @staticmethod
     def quick() -> "ExperimentSettings":

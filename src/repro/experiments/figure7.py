@@ -44,6 +44,7 @@ def run_figure7(
                 warmup_requests=settings.warmup_requests,
                 network=settings.network,
                 simulation=sim_cfg,
+                cac=settings.cac_config(beta),
             )
         )
         for u in utilizations

@@ -43,6 +43,7 @@ def run_figure8(
                 warmup_requests=settings.warmup_requests,
                 network=settings.network,
                 simulation=sim_cfg,
+                cac=settings.cac_config(beta),
             )
         )
         for beta in betas

@@ -80,7 +80,7 @@ def lint_source(
             )
         )
     for rule in active:
-        for finding in rule.check(tree, source, path):
+        for finding in rule.check(tree, source, path, scope_path=str(scope)):
             if not suppressions.is_suppressed(finding):
                 findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))

@@ -30,8 +30,19 @@ class Rule:
         raise NotImplementedError
 
     def check(
-        self, tree: ast.Module, source: str, path: str
+        self,
+        tree: ast.Module,
+        source: str,
+        path: str,
+        scope_path: Optional[str] = None,
     ) -> List[Finding]:
+        """Findings for one module.
+
+        ``path`` is the display path used in findings; ``scope_path`` is
+        the path the rule was scoped against (differs when a fixture is
+        linted under a virtual path).  Rules that branch on *where* the
+        module lives must consult ``scope_path or path``.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -155,7 +166,13 @@ class DeterminismRule(Rule):
             return False
         return _in_packages(path, self.PACKAGES)
 
-    def check(self, tree: ast.Module, source: str, path: str) -> List[Finding]:
+    def check(
+        self,
+        tree: ast.Module,
+        source: str,
+        path: str,
+        scope_path: Optional[str] = None,
+    ) -> List[Finding]:
         imports = _ImportMap()
         imports.visit(tree)
         findings: List[Finding] = []
@@ -304,7 +321,13 @@ class UnitDisciplineRule(Rule):
             return False
         return True
 
-    def check(self, tree: ast.Module, source: str, path: str) -> List[Finding]:
+    def check(
+        self,
+        tree: ast.Module,
+        source: str,
+        path: str,
+        scope_path: Optional[str] = None,
+    ) -> List[Finding]:
         findings: List[Finding] = []
         for node in ast.walk(tree):
             if isinstance(node, ast.BinOp) and isinstance(
@@ -422,7 +445,13 @@ class FloatSafetyRule(Rule):
     def applies_to(self, path: PurePosixPath) -> bool:
         return _in_packages(path, self.PACKAGES)
 
-    def check(self, tree: ast.Module, source: str, path: str) -> List[Finding]:
+    def check(
+        self,
+        tree: ast.Module,
+        source: str,
+        path: str,
+        scope_path: Optional[str] = None,
+    ) -> List[Finding]:
         findings: List[Finding] = []
         float_names = _collect_float_annotated(tree)
         for node in ast.walk(tree):
@@ -488,24 +517,31 @@ def _is_float_annotation(annotation: Optional[ast.AST]) -> bool:
 
 
 class CachePurityRule(Rule):
-    """RL004 — never mutate a value obtained from a delay-engine cache.
+    """RL004 — never mutate a shared value (cache entry or breakpoint array).
 
     The LRU caches and the :class:`IncrementalDelayEngine` memos hand out
     *shared references*; the bit-identical-to-full-recompute guarantee
     assumes cached envelopes/reports are immutable.  This rule taints names
     bound from ``<cache>.get(...)`` / ``<memo>[key]`` and flags attribute
     stores, item stores, deletes, and known mutating method calls on them.
+
+    ``Curve.breakpoints()`` likewise returns the curve's *own* float64
+    array without copying (the vectorized kernels share these arrays
+    freely), so in-place mutation of a name bound from a
+    ``.breakpoints()`` call — item stores, augmented assignment, numpy
+    mutator methods, or being the ``out=`` target of a ufunc — is flagged
+    everywhere in the tree, not just in the delay engine.
     """
 
     code = "RL004"
     name = "cache-purity"
     description = (
-        "forbid in-place mutation of values obtained from the LRU caches "
-        "or IncrementalDelayEngine memos"
+        "forbid in-place mutation of values obtained from the LRU caches, "
+        "IncrementalDelayEngine memos, or Curve.breakpoints() arrays"
     )
     autofix_hint = (
-        "copy before mutating (dict(...), list(...), dataclasses.replace) "
-        "or build a fresh value and re-put it"
+        "copy before mutating (dict(...), list(...), np.array(...), "
+        "dataclasses.replace) or build a fresh value and re-put it"
     )
 
     FILES = frozenset({"repro/core/delay.py", "repro/core/incremental.py"})
@@ -532,16 +568,32 @@ class CachePurityRule(Rule):
             "move_to_end",
         }
     )
+    #: In-place numpy ndarray methods (``.sort()`` is shared with MUTATORS).
+    ARRAY_MUTATORS = frozenset(
+        {"sort", "fill", "put", "resize", "partition", "itemset", "byteswap"}
+    )
 
     def applies_to(self, path: PurePosixPath) -> bool:
-        rel = _module_relpath(path)
-        return rel is not None and str(rel) in self.FILES
+        # Cache-entry taints are scoped to FILES; breakpoints()-array taints
+        # apply to every repro module.
+        return _module_relpath(path) is not None
 
-    def check(self, tree: ast.Module, source: str, path: str) -> List[Finding]:
+    def check(
+        self,
+        tree: ast.Module,
+        source: str,
+        path: str,
+        scope_path: Optional[str] = None,
+    ) -> List[Finding]:
+        where = (scope_path or path).replace("\\", "/")
+        rel = _module_relpath(PurePosixPath(where))
+        cache_scope = rel is not None and str(rel) in self.FILES
         findings: List[Finding] = []
         for node in ast.walk(tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                findings.extend(self._check_function(node, path))
+                findings.extend(
+                    self._check_function(node, path, cache_scope=cache_scope)
+                )
         return findings
 
     def _is_cache_container(self, node: ast.AST) -> bool:
@@ -572,23 +624,44 @@ class CachePurityRule(Rule):
             return True
         return False
 
+    @staticmethod
+    def _breakpoints_read(node: ast.AST) -> bool:
+        """Does ``node`` evaluate to a ``<curve>.breakpoints()`` array?"""
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "breakpoints"
+            and not node.args
+            and not node.keywords
+        )
+
     def _check_function(
-        self, func: ast.AST, path: str
+        self, func: ast.AST, path: str, cache_scope: bool = True
     ) -> Iterable[Finding]:
         tainted: Set[str] = set()
+        bp_tainted: Set[str] = set()
         findings: List[Finding] = []
 
         for node in ast.walk(func):  # first pass: what is tainted?
-            if isinstance(node, ast.Assign) and self._cache_read(node.value):
+            if isinstance(node, ast.Assign):
+                if cache_scope and self._cache_read(node.value):
+                    sink = tainted
+                elif self._breakpoints_read(node.value):
+                    sink = bp_tainted
+                else:
+                    continue
                 for target in node.targets:
                     for element in _flatten_targets(target):
                         if isinstance(element, ast.Name):
-                            tainted.add(element.id)
-        if not tainted:
+                            sink.add(element.id)
+        if not tainted and not bp_tainted:
             return findings
 
         def is_tainted(node: ast.AST) -> bool:
             return isinstance(node, ast.Name) and node.id in tainted
+
+        def is_bp_tainted(node: ast.AST) -> bool:
+            return isinstance(node, ast.Name) and node.id in bp_tainted
 
         for node in ast.walk(func):  # second pass: is a tainted value mutated?
             if isinstance(node, (ast.Assign, ast.AugAssign)):
@@ -609,11 +682,34 @@ class CachePurityRule(Rule):
                                     "through a name bound from a cache)",
                                 )
                             )
+                        elif is_bp_tainted(base.value):
+                            findings.append(
+                                self.finding(
+                                    path,
+                                    node,
+                                    "in-place store into a "
+                                    "Curve.breakpoints() array",
+                                )
+                            )
+                # ``arr += x`` on an ndarray mutates in place (unlike a
+                # plain-name rebind of an int/list), so a bare Name target
+                # of an AugAssign is a mutation for breakpoint arrays.
+                if isinstance(node, ast.AugAssign) and is_bp_tainted(
+                    node.target
+                ):
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            "augmented assignment mutates a "
+                            "Curve.breakpoints() array in place",
+                        )
+                    )
             elif isinstance(node, ast.Delete):
                 for target in node.targets:
                     if isinstance(
                         target, (ast.Attribute, ast.Subscript)
-                    ) and is_tainted(target.value):
+                    ) and (is_tainted(target.value) or is_bp_tainted(target.value)):
                         findings.append(
                             self.finding(
                                 path, node, "del on a cached value"
@@ -621,10 +717,12 @@ class CachePurityRule(Rule):
                         )
             elif isinstance(node, ast.Call):
                 func_node = node.func
-                if (
-                    isinstance(func_node, ast.Attribute)
-                    and func_node.attr in self.MUTATORS
-                    and is_tainted(func_node.value)
+                if isinstance(func_node, ast.Attribute) and (
+                    (func_node.attr in self.MUTATORS and is_tainted(func_node.value))
+                    or (
+                        func_node.attr in self.MUTATORS | self.ARRAY_MUTATORS
+                        and is_bp_tainted(func_node.value)
+                    )
                 ):
                     findings.append(
                         self.finding(
@@ -633,6 +731,25 @@ class CachePurityRule(Rule):
                             f".{func_node.attr}() on a cached value",
                         )
                     )
+                # np.<ufunc>(..., out=arr) writes into arr in place.
+                for keyword in node.keywords:
+                    if keyword.arg == "out" and (
+                        is_bp_tainted(keyword.value)
+                        or (
+                            isinstance(keyword.value, ast.Tuple)
+                            and any(
+                                is_bp_tainted(el) for el in keyword.value.elts
+                            )
+                        )
+                    ):
+                        findings.append(
+                            self.finding(
+                                path,
+                                node,
+                                "ufunc out= targets a "
+                                "Curve.breakpoints() array",
+                            )
+                        )
         return findings
 
 

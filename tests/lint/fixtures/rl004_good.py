@@ -11,3 +11,11 @@ class Engine:
             fresh.append(extra)
         self._stage_cache.put(key, fresh)
         return fresh
+
+    def shifted_breakpoints(self, curve, delta):
+        import numpy as np
+
+        xs = np.array(curve.breakpoints())
+        xs += delta  # mutates the private copy, not the curve's array
+        shifted = curve.breakpoints() + delta  # new array, no in-place op
+        return xs, shifted

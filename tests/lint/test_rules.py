@@ -93,12 +93,14 @@ class TestRL004CachePurity:
     def test_bad_fixture_is_flagged(self):
         findings = lint_fixture("rl004_bad.py", "repro/core/delay.py")
         assert codes(findings) == ["RL004"]
-        assert len(findings) == 5, findings
+        # 5 cache-entry mutations + 4 breakpoints()-array mutations
+        # (subscript store, augmented assign, .sort(), ufunc out=).
+        assert len(findings) == 9, findings
 
     def test_good_fixture_is_clean(self):
         assert lint_fixture("rl004_good.py", "repro/core/delay.py") == []
 
-    def test_scope_is_the_two_engine_files(self):
+    def test_cache_taints_scoped_to_the_two_engine_files(self):
         source = (
             "def f(self, k):\n"
             "    v = self._stage_cache.get(k)\n"
@@ -107,6 +109,32 @@ class TestRL004CachePurity:
         assert lint_source(source, "d.py", virtual_path="repro/core/delay.py")
         assert (
             lint_source(source, "d.py", virtual_path="repro/core/cac.py")
+            == []
+        )
+
+    def test_breakpoints_taints_apply_tree_wide(self):
+        source = (
+            "def f(curve):\n"
+            "    xs = curve.breakpoints()\n"
+            "    xs[0] = 0.0\n"
+        )
+        # Flagged in any repro module, not just the two engine files ...
+        for where in ("repro/core/cac.py", "repro/traffic/source.py"):
+            findings = lint_source(source, "b.py", virtual_path=where)
+            assert codes(findings) == ["RL004"], where
+        # ... but not outside the package.
+        assert lint_source(source, "b.py", virtual_path="scripts/b.py") == []
+
+    def test_breakpoints_copy_is_clean(self):
+        source = (
+            "import numpy as np\n"
+            "def f(curve):\n"
+            "    xs = np.array(curve.breakpoints())\n"
+            "    xs[0] = 0.0\n"
+            "    return xs\n"
+        )
+        assert (
+            lint_source(source, "b.py", virtual_path="repro/core/cac.py")
             == []
         )
 
