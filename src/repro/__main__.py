@@ -14,6 +14,9 @@ Commands
 ``bench``
     Run the tracked CAC benchmarks (:mod:`repro.bench`) and write
     ``BENCH_cac.json``.
+``service ...``
+    Forwards to :mod:`repro.service` (``serve``, ``bench``, ``soak``,
+    ``replay``) — the standing admission-control server.
 """
 
 from __future__ import annotations
@@ -111,6 +114,10 @@ def main(argv=None) -> int:
         from repro.lint.__main__ import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["service"]:
+        from repro.service.__main__ import main as service_main
+
+        return service_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="FDDI-ATM-FDDI real-time CAC — operator utilities.",
@@ -143,6 +150,12 @@ def main(argv=None) -> int:
     sub.add_parser(
         "lint",
         help="run reprolint, the domain-aware static analyzer (see repro.lint)",
+        add_help=False,
+    )
+
+    sub.add_parser(
+        "service",
+        help="standing admission-control service (serve/bench/soak/replay)",
         add_help=False,
     )
 

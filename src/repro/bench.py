@@ -234,6 +234,107 @@ def run_macro_bench(
 
 
 # ----------------------------------------------------------------------
+# Decision trajectory: the committed, gated part of the payload
+# ----------------------------------------------------------------------
+
+#: Fixed admit/release script over the 8-ring macro population.  The
+#: scenario is deliberately *independent of ``--quick``* so a quick CI
+#: check compares against the committed full-mode artifact.
+_TRAJECTORY_STEPS: Tuple[Tuple[str, ...], ...] = (
+    ("admit", "tr-1", "host1-2", "host2-3", "0.09"),
+    ("admit", "tr-2", "host3-1", "host4-2", "0.09"),
+    # Sub-2-TTRT deadline: hopeless, rejected before delay analysis.
+    ("admit", "tr-hopeless", "host1-2", "host2-3", "0.012"),
+    ("release", "tr-1"),
+    ("admit", "tr-3", "host5-4", "host6-1", "0.09"),
+    ("admit", "tr-4", "host1-2", "host2-3", "0.09"),
+    ("release", "tr-2"),
+    ("release", "tr-3"),
+    ("release", "tr-4"),
+)
+
+
+def run_decision_trajectory() -> Dict[str, object]:
+    """Bit-exact decision trajectory on a fixed scenario.
+
+    Floats are rendered with ``repr`` so the committed JSON round-trips
+    exactly; any numerical drift in the admission hot path shows up as a
+    field-level diff under ``--check``.
+    """
+    cac = _macro_controller(True, n_rings=8, per_group=7)
+    decisions: List[Dict[str, object]] = []
+    for step in _TRAJECTORY_STEPS:
+        if step[0] == "release":
+            cac.release(step[1])
+            decisions.append({"op": "release", "conn_id": step[1]})
+            continue
+        _, cid, src, dst, deadline = step
+        res = cac.request(
+            ConnectionSpec(cid, src, dst, MACRO_TRAFFIC, float(deadline))
+        )
+        decisions.append(
+            {
+                "op": "admit",
+                "conn_id": cid,
+                "admitted": res.admitted,
+                "delay_bound": (
+                    repr(res.delay_bound)
+                    if res.delay_bound is not None
+                    else None
+                ),
+                "h_min_need": (
+                    [repr(res.h_min_need[0]), repr(res.h_min_need[1])]
+                    if res.h_min_need is not None
+                    else None
+                ),
+                "n_probes": res.n_probes,
+            }
+        )
+    return {
+        "scenario": {"n_rings": 8, "per_group": 7},
+        "decisions": decisions,
+    }
+
+
+def check_cac_payload(
+    current: Dict[str, object], committed: Dict[str, object]
+) -> List[str]:
+    """Compare the gated (deterministic) parts of two CAC payloads.
+
+    Latency numbers are informational and never compared; the decision
+    trajectory and the incremental-vs-full identity bit are the contract.
+    """
+    problems: List[str] = []
+    for payload, who in ((current, "current"), (committed, "committed")):
+        if not payload.get("macro_decisions_identical"):
+            problems.append(f"{who}: macro decisions diverge (incremental vs full)")
+    cur = current.get("decision_trajectory")
+    com = committed.get("decision_trajectory")
+    if not isinstance(com, dict) or "decisions" not in com:
+        problems.append("committed payload has no decision_trajectory (regenerate)")
+        return problems
+    assert isinstance(cur, dict)
+    cur_steps = cur["decisions"]
+    com_steps = com["decisions"]
+    assert isinstance(cur_steps, list) and isinstance(com_steps, list)
+    if len(cur_steps) != len(com_steps):
+        problems.append(
+            f"trajectory length {len(cur_steps)} != committed {len(com_steps)}"
+        )
+        return problems
+    for i, (a, b) in enumerate(zip(cur_steps, com_steps)):
+        if a != b:
+            keys = sorted(set(a) | set(b))
+            diffs = ", ".join(
+                f"{k}: {a.get(k)!r} != {b.get(k)!r}"
+                for k in keys
+                if a.get(k) != b.get(k)
+            )
+            problems.append(f"trajectory step {i} diverged ({diffs})")
+    return problems
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
@@ -246,6 +347,7 @@ def run_benches(quick: bool = False) -> Dict[str, object]:
         "benchmark": "repro-cac",
         "quick": quick,
         "macro_decisions_identical": identical,
+        "decision_trajectory": run_decision_trajectory(),
         "results": [dataclasses.asdict(r) for r in results],
     }
 
@@ -280,12 +382,23 @@ def _write_json(payload: Dict[str, object], path: str) -> None:
     print(f"\n[written to {path}]")
 
 
-def _run_cac_suite(quick: bool, output: Optional[str]) -> int:
+def _run_cac_suite(
+    quick: bool, output: Optional[str], check_path: Optional[str]
+) -> int:
     payload = run_benches(quick=quick)
     print(format_report(payload))
+    problems: List[str] = []
+    if check_path is not None:
+        with open(check_path) as fh:
+            committed = json.load(fh)
+        problems = check_cac_payload(payload, committed)
+        for problem in problems:
+            print(f"  FAIL: {problem}")
     if output != "-":
         _write_json(payload, output or "BENCH_cac.json")
-    return 0 if payload["macro_decisions_identical"] else 1
+    if problems or not payload["macro_decisions_identical"]:
+        return 1
+    return 0
 
 
 def _run_envelope_suite(
@@ -308,6 +421,26 @@ def _run_envelope_suite(
     return 1 if problems else 0
 
 
+def _run_service_suite(
+    quick: bool, output: Optional[str], check_path: Optional[str]
+) -> int:
+    # Imported lazily: the service package pulls in asyncio machinery the
+    # plain CAC benches never need.
+    from repro.service import bench as service_bench
+
+    if check_path is not None:
+        payload, problems = service_bench.run_and_check(quick, check_path)
+    else:
+        payload, problems = service_bench.run_service_bench(quick), []
+    for problem in problems:
+        print(f"  FAIL: {problem}")
+    if output != "-":
+        _write_json(payload, output or "BENCH_service.json")
+    if check_path is not None and not problems:
+        print("  service bench check: OK")
+    return 1 if problems else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
@@ -321,7 +454,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("cac", "envelopes", "all"),
+        choices=("cac", "envelopes", "service", "all"),
         default="cac",
         help="which bench suite to run (default: cac)",
     )
@@ -331,7 +464,7 @@ def main(argv=None) -> int:
         default=None,
         help=(
             "JSON output path (default BENCH_cac.json / BENCH_envelopes.json "
-            "per suite; '-' to skip)"
+            "/ BENCH_service.json per suite; '-' to skip)"
         ),
     )
     parser.add_argument(
@@ -339,18 +472,22 @@ def main(argv=None) -> int:
         metavar="PATH",
         default=None,
         help=(
-            "(envelopes suite) committed BENCH_envelopes.json to compare the "
-            "exact-mode macro decision trajectory against; divergence fails"
+            "committed BENCH_<suite>.json to compare the deterministic "
+            "(gated) fields against; any divergence fails the run"
         ),
     )
     args = parser.parse_args(argv)
+    if args.check is not None and args.suite == "all":
+        parser.error("--check needs a single --suite (the artifacts differ)")
     rc = 0
     if args.suite in ("cac", "all"):
         out = args.output if args.suite == "cac" else None
-        rc |= _run_cac_suite(args.quick, out)
+        rc |= _run_cac_suite(args.quick, out, args.check)
     if args.suite in ("envelopes", "all"):
         out = args.output if args.suite == "envelopes" else None
         rc |= _run_envelope_suite(args.quick, out, args.check)
+    if args.suite == "service":
+        rc |= _run_service_suite(args.quick, args.output, args.check)
     return rc
 
 

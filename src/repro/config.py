@@ -138,6 +138,89 @@ class CACConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the standing admission-control service (:mod:`repro.service`).
+
+    The service wraps the CAC behind a bounded, priority-aware request
+    queue, journals every decision to a write-ahead log, and degrades
+    gracefully (exact analysis -> conservative coarsening -> admission
+    freeze) when measured decision latency climbs.  All thresholds are in
+    wall-clock seconds of *decision latency*, not simulated time.
+    """
+
+    #: Bounded admission-queue capacity.  When full, low-priority admit
+    #: requests are shed with ``BUSY`` verdicts (releases always pass —
+    #: they free resources and shrink the backlog).
+    queue_capacity: int = 256
+    #: Default per-request service deadline, seconds: a request that waits
+    #: or computes past this is answered ``TIMEOUT`` (and an admission that
+    #: completed too late is rolled back before the verdict is returned).
+    default_timeout: float = 30.0
+    #: Decision executor threads.  0 = decide inline on the event loop
+    #: (strictly ordered, deterministic); N > 0 = up to N shards decide
+    #: concurrently (shards share no rings or ports, so their decisions
+    #: are independent by the interference-partition invariant).
+    workers: int = 0
+    #: Journal records between admission-state snapshots (0 = never).
+    snapshot_every: int = 1000
+    #: fsync the journal after every record (survives OS crash, not just
+    #: process death; costs one fsync per decision).
+    fsync: bool = False
+    # --- degradation ladder ------------------------------------------
+    #: EWMA window (in decisions) of the decision-latency estimate.
+    latency_window: int = 8
+    #: Engage the next rung when the EWMA latency exceeds this, seconds.
+    degrade_hi: float = 0.5
+    #: Disengage a rung when the EWMA falls below this, seconds
+    #: (hysteresis: must be < ``degrade_hi``).
+    degrade_lo: float = 0.2
+    #: Decisions a rung must dwell before it may transition again (keeps
+    #: the ladder from flapping between adjacent rungs).
+    min_dwell: int = 16
+    #: ``AnalysisConfig.coarsen_segments`` applied at the COARSENED rung
+    #: (admission gets strictly more conservative, never unsafe).
+    degraded_segments: int = 32
+    #: While FROZEN, every Nth shed admit is decided anyway as a thaw
+    #: probe, so the ladder can observe latency and step back down.
+    freeze_probe_every: int = 8
+    # --- backpressure retry hints ------------------------------------
+    #: Base/factor/cap of the exponential ``retry_after`` hint attached to
+    #: ``BUSY``/``TIMEOUT`` verdicts (see ``RetryPolicy``), seconds.
+    retry_base_delay: float = 0.05
+    retry_factor: float = 2.0
+    retry_max_delay: float = 5.0
+    #: Master seed of the service's backoff-jitter substreams (one
+    #: substream per connection id -> deterministic retry schedules).
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue capacity must be >= 1")
+        if self.default_timeout <= 0:
+            raise ConfigurationError("default timeout must be positive")
+        if self.workers < 0:
+            raise ConfigurationError("workers must be non-negative")
+        if self.snapshot_every < 0:
+            raise ConfigurationError("snapshot_every must be non-negative")
+        if self.latency_window < 1:
+            raise ConfigurationError("latency window must be >= 1")
+        if not (0.0 < self.degrade_lo < self.degrade_hi):
+            raise ConfigurationError(
+                "need 0 < degrade_lo < degrade_hi for hysteresis"
+            )
+        if self.min_dwell < 1:
+            raise ConfigurationError("min_dwell must be >= 1")
+        if self.degraded_segments < 8:
+            raise ConfigurationError("degraded_segments must be >= 8")
+        if self.freeze_probe_every < 1:
+            raise ConfigurationError("freeze_probe_every must be >= 1")
+        if self.retry_base_delay <= 0 or self.retry_max_delay <= 0:
+            raise ConfigurationError("retry delays must be positive")
+        if self.retry_factor < 1.0:
+            raise ConfigurationError("retry factor must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
 class SimulationConfig:
     """Workload of the paper's evaluation (Section 6)."""
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
-from repro.config import CACConfig, NetworkConfig
+from repro.config import AnalysisConfig, CACConfig, NetworkConfig
 from repro.core.delay import ConnectionLoad, DelayAnalyzer, DelayReport
 from repro.core.incremental import IncrementalDelayEngine
 from repro.core.policies import AllocationContext, AllocationPolicy, BetaPolicy
@@ -34,7 +34,7 @@ from repro.errors import (
 )
 from repro.fddi.timed_token import min_sync_allocation
 from repro.network.connection import ConnectionRecord, ConnectionSpec
-from repro.network.routing import compute_route
+from repro.network.routing import Route, compute_route
 from repro.network.topology import NetworkTopology
 
 
@@ -257,6 +257,107 @@ class AdmissionController:
             n_probes=n_probes,
         )
 
+    def restore(
+        self,
+        spec: ConnectionSpec,
+        h_source: float,
+        h_dest: float,
+        *,
+        route: Optional[Route] = None,
+        delay_bound: Optional[float] = None,
+    ) -> ConnectionRecord:
+        """Re-apply a previously granted admission without re-deciding it.
+
+        The journal-replay / snapshot-load primitive of the standing
+        service (:mod:`repro.service`): the allocation was already decided
+        by a past ``request()``, so restoration only re-records it — the
+        ring ledgers are charged transactionally exactly as in
+        :meth:`_decide`, but no feasibility search runs.  ``route`` may be
+        supplied verbatim (a journaled route survives topology changes
+        that would make a recomputed route diverge); otherwise the route
+        is recomputed on the current topology.
+
+        Counters, history and the survivors' delay bounds are *not*
+        touched: replay drives those explicitly (see
+        ``repro.service.journal``) and calls :meth:`refresh_bounds` once
+        at the end instead of after every record.
+        """
+        if spec.conn_id in self.connections:
+            raise ConfigurationError(
+                f"connection {spec.conn_id!r} already active"
+            )
+        if route is None:
+            route = compute_route(self.topology, spec.source_host, spec.dest_host)
+        record = ConnectionRecord(
+            spec=spec,
+            route=route,
+            h_source=h_source,
+            h_dest=h_dest,
+            delay_bound=delay_bound,
+        )
+        ring_s = self.topology.rings[record.route.source_ring]
+        ring_s.allocate(spec.conn_id, h_source)
+        if record.route.crosses_backbone:
+            try:
+                self.topology.rings[record.route.dest_ring].allocate(
+                    spec.conn_id, h_dest
+                )
+            except Exception:
+                ring_s.release(spec.conn_id)
+                raise
+        self.connections[spec.conn_id] = record
+        self._active_loads = None
+        return record
+
+    def adopt_record(self, record: ConnectionRecord) -> None:
+        """Take ownership of an already-allocated record.
+
+        Shard-rebalancing primitive: the ring ledgers already hold the
+        record's grant (charged by whichever controller admitted it), so
+        only the membership moves.  Counterpart of :meth:`forget_record`.
+        """
+        if record.conn_id in self.connections:
+            raise ConfigurationError(
+                f"connection {record.conn_id!r} already active"
+            )
+        self.connections[record.conn_id] = record
+        self._active_loads = None
+
+    def forget_record(self, conn_id: str) -> ConnectionRecord:
+        """Drop a record *without* touching the ring ledgers.
+
+        The record's synchronous bandwidth stays allocated; another
+        controller must :meth:`adopt_record` it (shard moves) or the
+        ledgers will leak.
+        """
+        if conn_id not in self.connections:
+            raise ConfigurationError(f"unknown connection {conn_id!r}")
+        record = self.connections.pop(conn_id)
+        self._active_loads = None
+        return record
+
+    def set_analysis_config(self, analysis: AnalysisConfig) -> None:
+        """Swap the delay-analysis accuracy mode in place.
+
+        The degradation ladder of :mod:`repro.service` switches between
+        exact analysis and conservative coarsening without rebuilding the
+        controller: the active set and the ring ledgers are untouched;
+        the analyzer (and its caches) and the incremental engine are
+        rebuilt under the new :class:`~repro.config.AnalysisConfig`.
+        No-op when the config is unchanged.
+        """
+        if analysis == self.analyzer.analysis:
+            return
+        self.config = dataclasses.replace(self.config, analysis=analysis)
+        self.analyzer = DelayAnalyzer(
+            self.topology, self.network_config, analysis
+        )
+        self.engine = (
+            IncrementalDelayEngine(self.analyzer)
+            if self.config.incremental
+            else None
+        )
+
     def release(self, conn_id: str) -> ConnectionRecord:
         """Tear down a connection and free its synchronous bandwidth.
 
@@ -272,10 +373,10 @@ class AdmissionController:
         self.topology.rings[record.route.source_ring].release(conn_id)
         if record.route.crosses_backbone:
             self.topology.rings[record.route.dest_ring].release(conn_id)
-        self._refresh_bounds()
+        self.refresh_bounds()
         return record
 
-    def _refresh_bounds(self) -> None:
+    def refresh_bounds(self) -> None:
         """Recompute every surviving record's delay bound.
 
         With the incremental engine this touches only the departed

@@ -68,3 +68,23 @@ class CyclicDependencyError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class AuditError(ReproError):
+    """An end-of-run audit found leaked resources or broken contracts.
+
+    Raised by the survivability experiment and the admission service on
+    shutdown when :func:`repro.faults.audit.audit_controller` (or the
+    service's sharded equivalent) reports leaked synchronous bandwidth or
+    deadline violations.  The message carries the full audit report.
+    """
+
+
+class JournalError(ReproError):
+    """The admission service's write-ahead journal is malformed.
+
+    Raised for structural problems a recovery cannot safely skip (e.g. a
+    snapshot that fails validation, or replaying an operation against a
+    state it cannot apply to).  A torn *tail* is not an error — recovery
+    truncates it and reports the fact instead.
+    """

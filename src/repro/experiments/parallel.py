@@ -17,6 +17,13 @@ serial sweep:
 
 Tasks that cannot be pickled (e.g. a closure-built policy) silently fall
 back to the serial path rather than failing the sweep.
+
+Failure semantics: a worker exception does not hang the sweep or discard
+its traceback.  Each worker wraps its run and ships failures back as data;
+the parent terminates the pool and raises :class:`SweepCellError` naming
+the failed cell (index + config summary) with the worker's formatted
+traceback attached.  A ``KeyboardInterrupt`` in the parent also terminates
+the pool before propagating, so Ctrl-C never leaves orphaned workers.
 """
 
 from __future__ import annotations
@@ -25,14 +32,36 @@ import dataclasses
 import multiprocessing
 import os
 import pickle
-from typing import List, Optional, Sequence
+import traceback
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.policies import AllocationPolicy
+from repro.errors import ReproError
 from repro.sim.connection_sim import (
     ConnectionSimConfig,
     ConnectionSimulator,
     SimResult,
 )
+
+
+class SweepCellError(ReproError):
+    """One cell of a parallel sweep failed in its worker process.
+
+    Carries the cell index, a human-readable description of the cell's
+    configuration, and the worker's formatted traceback (the original
+    exception object may not survive pickling, its traceback never does).
+    """
+
+    def __init__(
+        self, index: int, cell: str, exc_name: str, message: str, tb: str
+    ) -> None:
+        super().__init__(
+            f"sweep cell {index} ({cell}) failed in worker: "
+            f"{exc_name}: {message}\n--- worker traceback ---\n{tb}"
+        )
+        self.index = index
+        self.cell = cell
+        self.exc_name = exc_name
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,10 +71,37 @@ class SimTask:
     config: ConnectionSimConfig
     policy: Optional[AllocationPolicy] = None
 
+    def describe(self) -> str:
+        """Short cell label for failure reports."""
+        cfg = self.config
+        label = f"U={cfg.utilization:g} beta={cfg.beta:g} seed={cfg.seed}"
+        if self.policy is not None:
+            label += f" policy={type(self.policy).__name__}"
+        return label
+
 
 def _run_task(task: SimTask) -> SimResult:
     """Worker entry point (module-level so it pickles under spawn)."""
     return ConnectionSimulator(task.config, policy=task.policy).run()
+
+
+#: (index, result) on success; (index, (exc name, message, traceback)) on
+#: failure — plain strings so every failure survives pickling.
+_SafeOutcome = Tuple[int, Union[SimResult, Tuple[str, str, str]]]
+
+
+def _run_task_safe(item: Tuple[int, SimTask]) -> _SafeOutcome:
+    """Worker entry point that ships failures back as data.
+
+    Catches ``BaseException``: a ``KeyboardInterrupt`` delivered to a
+    worker must surface as that cell's failure, not kill the pool from
+    within (the parent decides how to unwind).
+    """
+    index, task = item
+    try:
+        return index, _run_task(task)
+    except BaseException as exc:  # noqa: BLE001 — see docstring
+        return index, (type(exc).__name__, str(exc), traceback.format_exc())
 
 
 def default_jobs() -> int:
@@ -60,6 +116,9 @@ def run_sims(tasks: Sequence[SimTask], jobs: int = 1) -> List[SimResult]:
     the tasks are mapped over a process pool with ``chunksize=1`` — runs
     in a sweep have very uneven durations (heavy-load points take far
     longer), so fine-grained dispatch keeps the workers balanced.
+
+    Raises :class:`SweepCellError` when a worker fails, naming the cell;
+    terminates the pool on any error or interrupt instead of hanging.
     """
     tasks = list(tasks)
     if jobs <= 1 or len(tasks) <= 1:
@@ -70,5 +129,24 @@ def run_sims(tasks: Sequence[SimTask], jobs: int = 1) -> List[SimResult]:
         return [_run_task(t) for t in tasks]
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(_run_task, tasks, chunksize=1)
+    pool = ctx.Pool(processes=min(jobs, len(tasks)))
+    try:
+        outcomes = pool.map(_run_task_safe, list(enumerate(tasks)), chunksize=1)
+        pool.close()
+    except BaseException:
+        # Ctrl-C or a pool-machinery error: kill the workers before
+        # unwinding so the sweep never hangs on a half-dead pool.
+        pool.terminate()
+        raise
+    finally:
+        pool.join()
+
+    results: List[SimResult] = []
+    for index, outcome in outcomes:
+        if isinstance(outcome, tuple):
+            exc_name, message, tb = outcome
+            raise SweepCellError(
+                index, tasks[index].describe(), exc_name, message, tb
+            )
+        results.append(outcome)
+    return results

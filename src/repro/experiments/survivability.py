@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.errors import AuditError
 from repro.experiments.common import (
     ExperimentSettings,
     SeriesResult,
@@ -52,8 +53,17 @@ def run_survivability(
     faults: FaultConfig = DEFAULT_FAULTS,
     retry: RetryPolicy = DEFAULT_RETRY,
     jobs: int = 1,
+    strict_audit: bool = True,
 ) -> Tuple[List[SeriesResult], List[str]]:
-    """Run the sweep; returns (series, audit failure descriptions)."""
+    """Run the sweep; returns (series, audit failure descriptions).
+
+    With ``strict_audit`` (the default) any run that ends with leaked
+    synchronous bandwidth or a broken delay contract raises
+    :class:`~repro.errors.AuditError` listing every failing cell — a leak
+    is a bug in the CAC's transactional release/re-admit path, never an
+    acceptable experimental outcome.  Pass ``strict_audit=False`` to get
+    the failure list back for custom reporting instead.
+    """
     settings = settings or ExperimentSettings()
     sim_cfg = settings.simulation_config()
     tasks = []
@@ -103,6 +113,14 @@ def run_survivability(
         if ttrs:
             ttr.add(u, *mean_and_spread(ttrs))
             retries.add(u, *mean_and_spread(rtr))
+    if strict_audit and audit_failures:
+        raise AuditError(
+            "survivability run ended with leaked bandwidth or broken "
+            "contracts in {} cell(s):\n{}".format(
+                len(audit_failures),
+                "\n".join(f"  {line}" for line in audit_failures),
+            )
+        )
     return [ap_clean, ap_faults, survival, ttr, retries], audit_failures
 
 

@@ -63,6 +63,24 @@ class RetryPolicy:
             raw *= 1.0 + self.jitter * rng.random()
         return raw
 
+    def schedule(
+        self, attempts: Optional[int] = None, rng: Optional[random.Random] = None
+    ) -> List[float]:
+        """The first ``attempts`` backoff delays, in order (1-based attempts).
+
+        With ``rng`` drawn from a dedicated
+        :class:`~repro.sim.random.RandomStreams` substream the sequence is
+        fully deterministic: the same master seed and stream name always
+        produce the same jittered delays, independent of any other
+        randomness consumed elsewhere.  The admission service's
+        backpressure verdicts (``BUSY``/``TIMEOUT`` ``retry_after`` hints)
+        are derived this way, one substream per connection id.
+        """
+        n = self.max_attempts if attempts is None else attempts
+        if n < 0:
+            raise ConfigurationError("attempts must be non-negative")
+        return [self.delay(a, rng) for a in range(1, n + 1)]
+
 
 @dataclasses.dataclass
 class RetryEntry:

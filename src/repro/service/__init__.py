@@ -1,0 +1,56 @@
+"""Standing admission-control service over the CAC of Section 5.3.
+
+The experiments drive :class:`~repro.core.cac.AdmissionController` as a
+library inside one process and throw it away afterwards.  This package
+turns the same controller into a *service* an operator could actually run
+against live connection signalling, hardened end-to-end for faults:
+
+* :mod:`repro.service.server` — the asyncio :class:`AdmissionService`:
+  bounded priority queue with load shedding, per-request deadlines with
+  ``TIMEOUT`` verdicts, write-ahead journaling, and a graceful-degradation
+  ladder (exact analysis -> conservative coarsening -> admission freeze)
+  driven by measured decision latency;
+* :mod:`repro.service.shard` — the active set sharded by the interference
+  partition (plus ring-ledger coupling) so independent shards can decide
+  concurrently;
+* :mod:`repro.service.journal` — the crash-recovery journal and snapshot
+  store: a killed server restores bit-identically;
+* :mod:`repro.service.frontend` — a JSON-lines TCP front-end;
+* :mod:`repro.service.bench` — the churn/overload/kill-recovery bench
+  behind ``python -m repro service bench`` and ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+from repro.service.degrade import COARSENED, EXACT, FROZEN, DegradationLadder
+from repro.service.journal import JournalStore
+from repro.service.server import (
+    ADMITTED,
+    BUSY,
+    ERROR,
+    REJECTED,
+    RELEASED,
+    TIMEOUT,
+    UNKNOWN,
+    AdmissionService,
+    ServiceResponse,
+)
+from repro.service.shard import ShardedAdmissionState
+
+__all__ = [
+    "ADMITTED",
+    "BUSY",
+    "COARSENED",
+    "ERROR",
+    "EXACT",
+    "FROZEN",
+    "REJECTED",
+    "RELEASED",
+    "TIMEOUT",
+    "UNKNOWN",
+    "AdmissionService",
+    "DegradationLadder",
+    "JournalStore",
+    "ServiceResponse",
+    "ShardedAdmissionState",
+]

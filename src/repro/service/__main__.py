@@ -1,0 +1,247 @@
+"""Command-line entry points: ``python -m repro service <command>``.
+
+* ``serve``  — run the JSON-lines TCP front-end on a fresh network;
+* ``bench``  — the churn/overload/kill-recovery bench (``BENCH_service.json``);
+* ``soak``   — a time-boxed churn soak with one injected node failure and
+  one kill/restore cycle (the CI smoke job); exits non-zero on any leak,
+  recovery mismatch, or missed degradation;
+* ``replay`` — inspect a journal directory: restore it and report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+from repro.config import CACConfig, NetworkConfig, ServiceConfig, build_network
+from repro.service import frontend
+from repro.service.bench import (
+    _admit,
+    _spec_of,
+    run_and_check,
+    run_service_bench,
+    trajectory_ops,
+)
+from repro.service.server import AdmissionService
+
+
+def _network(n_rings: int) -> NetworkConfig:
+    return NetworkConfig(n_rings=n_rings, hosts_per_ring=4)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    config = _network(args.rings)
+
+    async def _run() -> None:
+        service = AdmissionService(
+            build_network(config),
+            network_config=config,
+            service_config=ServiceConfig(workers=args.workers),
+            journal_dir=args.journal_dir,
+        )
+        await service.start()
+        print(
+            f"admission service on {args.host}:{args.port} "
+            f"({args.rings} rings, workers={args.workers}, "
+            f"journal={args.journal_dir or 'off'})",
+            flush=True,
+        )
+        try:
+            await frontend.serve(service, args.host, args.port)
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.check:
+        payload, problems = run_and_check(args.quick, args.check)
+    else:
+        payload, problems = run_service_bench(args.quick), []
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"[service bench written to {args.output}]")
+    else:
+        print(text)
+    for problem in problems:
+        print(f"CHECK FAILED: {problem}", file=sys.stderr)
+    if args.check and not problems:
+        print("service bench check: OK")
+    return 1 if problems else 0
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Churn for ~``--seconds``, fail/repair a node, kill and restore."""
+    config = _network(6)
+    problems: List[str] = []
+
+    async def _run() -> None:
+        with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
+            wal = os.path.join(tmp, "wal")
+            service = AdmissionService(
+                build_network(config),
+                network_config=config,
+                cac_config=CACConfig(),
+                service_config=ServiceConfig(
+                    workers=args.workers, snapshot_every=25
+                ),
+                journal_dir=wal,
+            )
+            await service.start()
+            from repro.service.bench import apply_ops
+
+            await apply_ops(service, trajectory_ops())
+            deadline = time.monotonic() + args.seconds
+            r = 0
+            failed = repaired = False
+            while time.monotonic() < deadline:
+                await service.submit_admit(
+                    _spec_of(
+                        _admit(
+                            f"soak-{r}",
+                            f"host{(r % 3) * 2 + 1}-1",
+                            f"host{(r % 3) * 2 + 2}-2",
+                        )
+                    )
+                )
+                await service.submit_release(f"soak-{r}")
+                r += 1
+                if not failed and time.monotonic() > deadline - args.seconds / 2:
+                    displaced = await service.inject_node_failure("id5")
+                    print(f"[soak] failed id5, displaced {len(displaced)}")
+                    failed = True
+                elif failed and not repaired and time.monotonic() > (
+                    deadline - args.seconds / 4
+                ):
+                    await service.repair_node("id5")
+                    print("[soak] repaired id5")
+                    repaired = True
+            if not failed:
+                displaced = await service.inject_node_failure("id5")
+                print(f"[soak] failed id5, displaced {len(displaced)}")
+            if not repaired:
+                await service.repair_node("id5")
+                print("[soak] repaired id5")
+            pre_kill = service.signature()
+            decided = service.metrics.decision_latency.n
+            # Kill: abandon without stop(); the journal is the survivor.
+            await service.simulate_kill()
+            restored, report = AdmissionService.restore(
+                build_network(config),
+                wal,
+                network_config=config,
+                cac_config=CACConfig(),
+                service_config=ServiceConfig(workers=args.workers),
+            )
+            print(
+                f"[soak] {r} churn rounds, {decided} decisions; restore: "
+                f"snapshot seq {report.snapshot_seq}, "
+                f"{report.n_replayed} replayed, {report.n_active} active"
+            )
+            if report.signature != pre_kill:
+                problems.append(
+                    "restored signature differs from pre-kill state"
+                )
+            await restored.start(fresh_journal=False)
+            await apply_ops(
+                restored, [_admit("post-restore", "host1-4", "host2-1")]
+            )
+            await restored.stop()  # raises AuditError on any leak
+
+    asyncio.run(_run())
+    for problem in problems:
+        print(f"SOAK FAILED: {problem}", file=sys.stderr)
+    if not problems:
+        print("service soak: OK (recovered bit-identically, zero leaks)")
+    return 1 if problems else 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    config = _network(args.rings)
+    service, report = AdmissionService.restore(
+        build_network(config),
+        args.journal_dir,
+        network_config=config,
+    )
+    print(
+        json.dumps(
+            {
+                "snapshot_seq": report.snapshot_seq,
+                "n_snapshot_records": report.n_snapshot_records,
+                "n_replayed": report.n_replayed,
+                "truncated_tail": report.truncated_tail,
+                "corruption": report.corruption,
+                "signature": report.signature,
+                "n_requests": report.n_requests,
+                "n_admitted": report.n_admitted,
+                "n_active": report.n_active,
+                "shards": service.state.stats(),
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro service",
+        description="Standing admission-control service over the CAC.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the JSON-lines TCP front-end")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--rings", type=int, default=3)
+    serve.add_argument("--workers", type=int, default=0)
+    serve.add_argument("--journal-dir", default=None)
+    serve.set_defaults(func=cmd_serve)
+
+    bench = sub.add_parser("bench", help="churn/overload/recovery bench")
+    bench.add_argument("--quick", action="store_true")
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON payload here ('-' or omitted: stdout)",
+    )
+    bench.add_argument(
+        "--check",
+        metavar="PATH",
+        default=None,
+        help="compare against a committed BENCH_service.json; non-zero "
+        "exit on trajectory or robustness-gate mismatch",
+    )
+    bench.set_defaults(func=cmd_bench)
+
+    soak = sub.add_parser(
+        "soak", help="time-boxed churn with a node failure and kill/restore"
+    )
+    soak.add_argument("--seconds", type=float, default=60.0)
+    soak.add_argument("--workers", type=int, default=0)
+    soak.set_defaults(func=cmd_soak)
+
+    replay = sub.add_parser("replay", help="inspect a journal directory")
+    replay.add_argument("journal_dir")
+    replay.add_argument("--rings", type=int, default=3)
+    replay.set_defaults(func=cmd_replay)
+
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

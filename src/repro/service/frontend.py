@@ -1,0 +1,127 @@
+"""JSON-lines TCP front-end for the admission service.
+
+One request object per line, one response object per line, in order::
+
+    {"op": "admit", "conn_id": "c1", "source_host": "host1-1",
+     "dest_host": "host2-1", "traffic": {"type": "DualPeriodicTraffic",
+     "c1": 120000, "p1": 0.015, "c2": 60000, "p2": 0.005},
+     "deadline": 0.09, "priority": 0}
+    {"op": "release", "conn_id": "c1"}
+    {"op": "metrics"}
+    {"op": "ping"}
+
+Responses carry at least ``verdict`` (``ADMITTED``/``REJECTED``/``BUSY``/
+``TIMEOUT``/``RELEASED``/``UNKNOWN``/``ERROR`` — or ``OK`` for
+``ping``/``metrics``).  Malformed input never kills the connection: the
+offending line is answered with an ``ERROR`` verdict and parsing
+continues at the next line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import JournalError, ReproError
+from repro.network.connection import ConnectionSpec
+from repro.service.codec import dict_to_traffic
+from repro.service.server import AdmissionService
+
+
+def _error(reason: str, conn_id: str = "") -> Dict[str, Any]:
+    return {"verdict": "ERROR", "conn_id": conn_id, "reason": reason}
+
+
+async def handle_request(
+    service: AdmissionService, payload: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Dispatch one parsed request object to the service."""
+    op = payload.get("op")
+    conn_id = str(payload.get("conn_id", ""))
+    if op == "ping":
+        return {"verdict": "OK", "op": "ping"}
+    if op == "metrics":
+        return {"verdict": "OK", "metrics": service.metrics_snapshot()}
+    if op == "release":
+        if not conn_id:
+            return _error("release needs conn_id")
+        timeout = payload.get("timeout")
+        response = await service.submit_release(
+            conn_id, timeout=None if timeout is None else float(timeout)
+        )
+        return response.to_dict()
+    if op == "admit":
+        try:
+            spec = ConnectionSpec(
+                conn_id=conn_id,
+                source_host=str(payload["source_host"]),
+                dest_host=str(payload["dest_host"]),
+                traffic=dict_to_traffic(payload["traffic"]),
+                deadline=float(payload["deadline"]),
+            )
+        except (KeyError, TypeError, ValueError, JournalError) as exc:
+            return _error(f"bad admit request: {exc}", conn_id)
+        timeout = payload.get("timeout")
+        response = await service.submit_admit(
+            spec,
+            priority=int(payload.get("priority", 0)),
+            timeout=None if timeout is None else float(timeout),
+        )
+        return response.to_dict()
+    return _error(f"unknown op {op!r}", conn_id)
+
+
+async def handle_connection(
+    service: AdmissionService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one client: read JSON lines, answer JSON lines."""
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.decode("utf-8", "replace").strip()
+            if not text:
+                continue
+            try:
+                payload = json.loads(text)
+                if not isinstance(payload, dict):
+                    raise ValueError("request must be a JSON object")
+                answer = await handle_request(service, payload)
+            except ValueError as exc:
+                answer = _error(f"unparsable request: {exc}")
+            except ReproError as exc:
+                answer = _error(f"{type(exc).__name__}: {exc}")
+            writer.write((json.dumps(answer) + "\n").encode())
+            await writer.drain()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+async def serve(
+    service: AdmissionService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    ready: Optional["asyncio.Event"] = None,
+) -> None:
+    """Run the TCP front-end until cancelled (service must be started)."""
+
+    async def _client(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await handle_connection(service, reader, writer)
+
+    server = await asyncio.start_server(_client, host, port)
+    if ready is not None:
+        ready.set()
+    async with server:
+        await server.serve_forever()

@@ -1,0 +1,276 @@
+"""Write-ahead journal and snapshot store for the admission service.
+
+The in-memory admission state dies with the process, so the journal is
+the *sole* persistent truth.  Each decision that changes state appends
+one JSON line::
+
+    {"seq": 17, "op": "admit", "data": {...}, "sum": "9f2c4a0e1b7d"}
+
+``sum`` is a SHA-256 prefix over the canonical encoding of the other
+three fields.  The reader is **torn-tail tolerant**: a kill mid-append
+leaves at most one partial final line, and the reader stops at the first
+line that fails to parse, fails its checksum, or breaks the sequence
+continuity — everything before it is trusted, everything after discarded.
+Reopening for append first truncates the file back to the good prefix so
+the torn bytes can never shadow later records.
+
+Snapshots bound replay time: ``snapshot-<seq>.json`` captures the full
+admission state *after* applying records ``1..seq`` and is written
+atomically (temp file + ``os.replace``), so a kill during snapshotting
+leaves the previous snapshot intact.  Recovery = newest valid snapshot +
+replay of the journal tail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import JournalError
+
+JOURNAL_NAME = "journal.jsonl"
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.json$")
+#: Journal ops that mutate admission state, counters, or topology health
+#: (fault/repair events must replay too, or a restore taken mid-outage
+#: would route around failures the dead process was still seeing).
+OPS = ("admit", "reject", "release", "fault", "repair")
+
+
+def _canonical(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: Dict[str, Any]) -> str:
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()[:12]
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalRecord:
+    """One committed decision."""
+
+    seq: int
+    op: str
+    data: Dict[str, Any]
+
+    def encode(self) -> str:
+        body = {"seq": self.seq, "op": self.op, "data": self.data}
+        body["sum"] = _checksum(body)
+        return _canonical(body)
+
+
+def decode_line(line: str, expect_seq: Optional[int] = None) -> JournalRecord:
+    """Parse and verify one journal line.
+
+    Raises :class:`JournalError` on any corruption: unparsable JSON, wrong
+    shape, unknown op, checksum mismatch, or (when ``expect_seq`` is
+    given) a sequence-number gap.
+    """
+    try:
+        raw = json.loads(line)
+    except ValueError as exc:
+        raise JournalError(f"unparsable journal line: {exc}") from None
+    if not isinstance(raw, dict):
+        raise JournalError("journal line is not an object")
+    try:
+        body = {"seq": raw["seq"], "op": raw["op"], "data": raw["data"]}
+        declared = raw["sum"]
+    except KeyError as exc:
+        raise JournalError(f"journal line missing field {exc}") from None
+    if body["op"] not in OPS:
+        raise JournalError(f"unknown journal op {body['op']!r}")
+    if not isinstance(body["seq"], int) or not isinstance(body["data"], dict):
+        raise JournalError("journal line has wrong field types")
+    if _checksum(body) != declared:
+        raise JournalError(f"checksum mismatch on journal seq {body['seq']}")
+    if expect_seq is not None and body["seq"] != expect_seq:
+        raise JournalError(
+            f"journal sequence gap: expected {expect_seq}, got {body['seq']}"
+        )
+    return JournalRecord(seq=body["seq"], op=body["op"], data=body["data"])
+
+
+@dataclasses.dataclass
+class JournalTail:
+    """Result of scanning a journal file."""
+
+    #: Records of the trusted prefix, in sequence order.
+    records: List[JournalRecord]
+    #: Byte length of the trusted prefix (truncate here before appending).
+    good_bytes: int
+    #: True when corrupted/torn bytes followed the trusted prefix.
+    truncated: bool
+    #: Human-readable description of the first corruption, if any.
+    corruption: Optional[str] = None
+
+
+def scan_journal(path: str, first_seq: int = 1) -> JournalTail:
+    """Read the trusted prefix of a journal file (missing file = empty)."""
+    if not os.path.exists(path):
+        return JournalTail(records=[], good_bytes=0, truncated=False)
+    records: List[JournalRecord] = []
+    good = 0
+    expect = first_seq
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    offset = 0
+    while offset < len(blob):
+        end = blob.find(b"\n", offset)
+        if end < 0:
+            # No newline: the tail was torn mid-append.
+            return JournalTail(
+                records, good, True, corruption="unterminated final line"
+            )
+        line = blob[offset:end]
+        try:
+            record = decode_line(line.decode("utf-8", "strict"), expect)
+        except (JournalError, UnicodeDecodeError) as exc:
+            return JournalTail(records, good, True, corruption=str(exc))
+        records.append(record)
+        expect = record.seq + 1
+        offset = end + 1
+        good = offset
+    return JournalTail(records=records, good_bytes=good, truncated=False)
+
+
+class JournalStore:
+    """One service instance's journal + snapshots in a directory.
+
+    Not thread-safe: the service serializes appends (journal order *is*
+    the authoritative global decision order).
+    """
+
+    def __init__(self, directory: str, fsync: bool = False) -> None:
+        self.directory = directory
+        self.fsync = fsync
+        os.makedirs(directory, exist_ok=True)
+        self.journal_path = os.path.join(directory, JOURNAL_NAME)
+        self._fh: Optional[Any] = None
+        self.next_seq = 1
+        #: Records appended since the last snapshot (drives snapshot cadence).
+        self.since_snapshot = 0
+
+    # -- journal -------------------------------------------------------
+
+    def open_fresh(self) -> None:
+        """Start a brand-new journal (truncates any existing one)."""
+        self.close()
+        self._fh = open(self.journal_path, "w", encoding="utf-8")
+        self.next_seq = 1
+        self.since_snapshot = 0
+
+    def open_for_append(self, tail: JournalTail) -> None:
+        """Reopen after recovery: truncate off torn bytes, continue the seq.
+
+        ``tail`` must be the scan this recovery replayed — appending past
+        un-truncated garbage would strand every later record behind the
+        corruption.
+        """
+        self.close()
+        if os.path.exists(self.journal_path):
+            with open(self.journal_path, "r+b") as fh:
+                fh.truncate(tail.good_bytes)
+        self._fh = open(self.journal_path, "a", encoding="utf-8")
+        last = tail.records[-1].seq if tail.records else 0
+        self.next_seq = last + 1
+        self.since_snapshot = 0
+
+    def append(self, op: str, data: Dict[str, Any]) -> JournalRecord:
+        """Durably append one decision; returns the committed record."""
+        if self._fh is None:
+            raise JournalError("journal is not open")
+        record = JournalRecord(seq=self.next_seq, op=op, data=data)
+        self._fh.write(record.encode() + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.next_seq += 1
+        self.since_snapshot += 1
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot_path(self, seq: int) -> str:
+        return os.path.join(self.directory, f"snapshot-{seq}.json")
+
+    def write_snapshot(self, state: Dict[str, Any], seq: int) -> str:
+        """Atomically persist ``state`` as the post-``seq`` snapshot."""
+        payload = {"seq": seq, "state": state}
+        payload["sum"] = _checksum(payload)
+        path = self.snapshot_path(seq)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(_canonical(payload))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self.since_snapshot = 0
+        # Older snapshots are superseded; keep the newest two for paranoia.
+        seqs = sorted(self._snapshot_seqs(), reverse=True)
+        for old in seqs[2:]:
+            try:
+                os.remove(self.snapshot_path(old))
+            except OSError:
+                pass
+        return path
+
+    def _snapshot_seqs(self) -> List[int]:
+        out = []
+        for name in os.listdir(self.directory):
+            m = _SNAPSHOT_RE.match(name)
+            if m:
+                out.append(int(m.group(1)))
+        return out
+
+    def load_latest_snapshot(self) -> Tuple[Optional[Dict[str, Any]], int]:
+        """Newest snapshot that verifies, as ``(state, seq)``.
+
+        A snapshot that fails its checksum (or cannot be parsed) is
+        skipped in favor of the next older one — the journal can always
+        replay the difference.  Returns ``(None, 0)`` when no usable
+        snapshot exists (replay the whole journal).
+        """
+        for seq in sorted(self._snapshot_seqs(), reverse=True):
+            try:
+                with open(self.snapshot_path(seq), encoding="utf-8") as fh:
+                    raw = json.loads(fh.read())
+                body = {"seq": raw["seq"], "state": raw["state"]}
+                if _checksum(body) != raw["sum"] or raw["seq"] != seq:
+                    continue
+                if not isinstance(body["state"], dict):
+                    continue
+                return body["state"], seq
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return None, 0
+
+    def scan_tail(self, after_seq: int) -> JournalTail:
+        """The trusted journal records with ``seq > after_seq``.
+
+        The journal file always starts at seq 1 (snapshots do not rotate
+        it); the scan verifies the full chain from the start — cheap at
+        these volumes and it validates continuity across the snapshot
+        boundary — then drops the already-snapshotted prefix.  Raises
+        :class:`JournalError` when the journal ends *before* ``after_seq``:
+        snapshots are written only after those records were flushed, so a
+        shorter journal means durable records vanished out-of-band.
+        """
+        tail = scan_journal(self.journal_path, first_seq=1)
+        last_seq = tail.records[-1].seq if tail.records else 0
+        if after_seq > last_seq:
+            raise JournalError(
+                f"snapshot seq {after_seq} is beyond the journal's last "
+                f"trusted record (seq {last_seq}): durable journal entries "
+                "are missing (file truncated or replaced out-of-band); "
+                "refusing to restore from inconsistent storage"
+            )
+        tail.records = [r for r in tail.records if r.seq > after_seq]
+        return tail

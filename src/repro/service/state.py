@@ -1,0 +1,84 @@
+"""Canonical admission-state serialization and the recovery signature.
+
+Recovery is verified by comparing *signatures*: a SHA-256 over the
+canonical JSON of
+
+* every active :class:`~repro.network.connection.ConnectionRecord` in
+  **global admission order** (spec, verbatim route, both grants, delay
+  bound — floats via ``repr`` so the comparison is bit-exact),
+* each ring ledger's ``allocated_sync_time`` (``repr`` again — this is an
+  insertion-ordered float *sum*, so it certifies not just the set of
+  grants but the exact accumulation the ledger performed), and
+* the service-level request/admission counters.
+
+Two states with equal signatures are operationally indistinguishable:
+same connections, same grants, same delay bounds, same ledger bit
+patterns, same AP statistics.  The kill-and-restore property test demands
+signature equality between a restored server and an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.network.connection import ConnectionRecord
+from repro.network.topology import NetworkTopology
+from repro.service.codec import record_to_dict
+
+
+def _float_repr(value: Any) -> Any:
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, dict):
+        return {k: _float_repr(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_float_repr(v) for v in value]
+    return value
+
+
+def state_payload(
+    records: Sequence[ConnectionRecord],
+    n_requests: int,
+    n_admitted: int,
+    failed_nodes: Sequence[str] = (),
+) -> Dict[str, Any]:
+    """The snapshot body: ordered records, counters, topology health.
+
+    ``records`` must be in global admission order — replaying them in
+    list order re-inserts every ring-ledger entry in its original
+    relative order, which is what makes the restored float sums
+    bit-identical.  ``failed_nodes`` captures outage state so a restore
+    taken mid-outage routes exactly as the dead process did.
+    """
+    return {
+        "connections": [record_to_dict(rec) for rec in records],
+        "counters": {"n_requests": n_requests, "n_admitted": n_admitted},
+        "failed_nodes": sorted(failed_nodes),
+    }
+
+
+def state_signature(
+    records: Sequence[ConnectionRecord],
+    topology: NetworkTopology,
+    n_requests: int,
+    n_admitted: int,
+) -> str:
+    """SHA-256 hex digest of the full admission state (see module doc)."""
+    ledger: Dict[str, List[str]] = {}
+    for ring_id in sorted(topology.rings):
+        ring = topology.rings[ring_id]
+        ledger[ring_id] = [
+            repr(ring.allocated_sync_time),
+            repr(ring.available_sync_time),
+        ]
+    body = {
+        "connections": _float_repr(
+            [record_to_dict(rec) for rec in records]
+        ),
+        "rings": ledger,
+        "counters": {"n_requests": n_requests, "n_admitted": n_admitted},
+    }
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,11 +1,26 @@
 """The parallel sweep runner must reproduce the serial results exactly."""
 
+import pytest
+
 from repro.config import SimulationConfig
+from repro.core.policies import MaxAvailPolicy
 from repro.experiments.ablations import POLICY_VARIANTS, run_policy_ablation
 from repro.experiments.common import ExperimentSettings
 from repro.experiments.figure7 import run_figure7
-from repro.experiments.parallel import SimTask, default_jobs, run_sims
+from repro.experiments.parallel import (
+    SimTask,
+    SweepCellError,
+    default_jobs,
+    run_sims,
+)
 from repro.sim.connection_sim import ConnectionSimConfig
+
+
+class ExplodingPolicy(MaxAvailPolicy):
+    """Module-level (hence picklable) policy that fails on first use."""
+
+    def select(self, ctx):
+        raise RuntimeError("boom in worker")
 
 
 def tiny_settings():
@@ -61,6 +76,27 @@ class TestRunSims:
 
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1
+
+    def test_worker_crash_names_the_failed_cell(self):
+        tasks = [
+            SimTask(tiny_config(seed=1)),
+            SimTask(tiny_config(seed=2), policy=ExplodingPolicy()),
+            SimTask(tiny_config(seed=3)),
+        ]
+        with pytest.raises(SweepCellError) as excinfo:
+            run_sims(tasks, jobs=2)
+        err = excinfo.value
+        assert err.index == 1
+        assert "seed=2" in err.cell
+        assert err.exc_name == "RuntimeError"
+        # The worker's formatted traceback travels back to the parent.
+        assert "boom in worker" in str(err)
+        assert "Traceback" in str(err)
+
+    def test_worker_crash_in_serial_mode_raises_directly(self):
+        tasks = [SimTask(tiny_config(seed=2), policy=ExplodingPolicy())]
+        with pytest.raises(RuntimeError, match="boom in worker"):
+            run_sims(tasks, jobs=1)
 
 
 class TestSweepEquivalence:

@@ -33,6 +33,35 @@ class TestRetryPolicy:
         assert all(2.0 <= d < 3.0 for d in a)
         assert len(set(a)) > 1  # jitter actually varies
 
+    def test_schedule_deterministic_under_random_streams_substreams(self):
+        """The admission service derives BUSY/TIMEOUT retry hints from a
+        per-connection RandomStreams substream: same master seed + same
+        stream name must give the same jittered schedule, and distinct
+        names must diverge (no cross-connection coupling)."""
+        from repro.sim.random import RandomStreams
+
+        policy = RetryPolicy(
+            base_delay=0.05, factor=2.0, max_delay=5.0, jitter=0.1
+        )
+        a1 = policy.schedule(6, RandomStreams(7).stream("retry:conn-a"))
+        a2 = policy.schedule(6, RandomStreams(7).stream("retry:conn-a"))
+        b = policy.schedule(6, RandomStreams(7).stream("retry:conn-b"))
+        other_seed = policy.schedule(6, RandomStreams(8).stream("retry:conn-a"))
+        assert a1 == a2
+        assert a1 != b
+        assert a1 != other_seed
+        # Jitter never breaks the exponential envelope.
+        for attempt, delay in enumerate(a1, start=1):
+            bare = min(5.0, 0.05 * 2.0 ** (attempt - 1))
+            assert bare <= delay <= bare * 1.1
+
+    def test_schedule_length_and_validation(self):
+        policy = RetryPolicy(jitter=0.0, max_attempts=4)
+        assert policy.schedule() == policy.schedule(4)
+        assert policy.schedule(0) == []
+        with pytest.raises(ConfigurationError):
+            policy.schedule(-1)
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             RetryPolicy(base_delay=0.0)

@@ -1,0 +1,126 @@
+"""The CI gates must catch any drift in the committed bench artifacts."""
+
+import copy
+
+from repro.bench import check_cac_payload
+from repro.service.bench import check_service_payload
+
+
+def _service_payload():
+    return {
+        "suite": "service",
+        "trajectory": {
+            "decisions": [
+                {
+                    "op": "admit",
+                    "conn_id": "bg1-0",
+                    "verdict": "ADMITTED",
+                    "delay_bound": "0.05387",
+                },
+                {
+                    "op": "release",
+                    "conn_id": "bg1-0",
+                    "verdict": "RELEASED",
+                    "delay_bound": None,
+                },
+            ],
+            "final_signature": "abc",
+            "n_requests": 1,
+            "n_admitted": 1,
+            "n_active": 0,
+            "n_shards": 0,
+            "n_merges": 0,
+        },
+        "recovery": {
+            "prefix_signature_match": True,
+            "final_signature_match": True,
+            "torn_tail_ok": True,
+        },
+        "ladder": {"engaged": True, "disengaged": True},
+    }
+
+
+class TestServiceGate:
+    def test_identical_payloads_pass(self):
+        payload = _service_payload()
+        assert check_service_payload(payload, copy.deepcopy(payload)) == []
+
+    def test_verdict_flip_detected(self):
+        current = _service_payload()
+        committed = copy.deepcopy(current)
+        current["trajectory"]["decisions"][0]["verdict"] = "REJECTED"
+        problems = check_service_payload(current, committed)
+        assert any("verdict" in p for p in problems)
+
+    def test_delay_bound_drift_detected(self):
+        current = _service_payload()
+        committed = copy.deepcopy(current)
+        committed["trajectory"]["decisions"][0]["delay_bound"] = "0.05388"
+        problems = check_service_payload(current, committed)
+        assert any("delay_bound" in p for p in problems)
+
+    def test_signature_drift_detected(self):
+        current = _service_payload()
+        committed = copy.deepcopy(current)
+        current["trajectory"]["final_signature"] = "zzz"
+        problems = check_service_payload(current, committed)
+        assert any("final_signature" in p for p in problems)
+
+    def test_failed_recovery_gate_detected_in_either_payload(self):
+        for side in ("current", "committed"):
+            current = _service_payload()
+            committed = copy.deepcopy(current)
+            target = current if side == "current" else committed
+            target["recovery"]["torn_tail_ok"] = False
+            problems = check_service_payload(current, committed)
+            assert any("torn_tail_ok" in p for p in problems), side
+
+    def test_unengaged_ladder_detected(self):
+        current = _service_payload()
+        committed = copy.deepcopy(current)
+        current["ladder"]["engaged"] = False
+        problems = check_service_payload(current, committed)
+        assert any("ladder.engaged" in p for p in problems)
+
+
+def _cac_payload():
+    return {
+        "macro_decisions_identical": True,
+        "decision_trajectory": {
+            "scenario": {"n_rings": 8, "per_group": 7},
+            "decisions": [
+                {
+                    "op": "admit",
+                    "conn_id": "tr-1",
+                    "admitted": True,
+                    "delay_bound": "0.0409",
+                    "h_min_need": ["0.001", "0.002"],
+                    "n_probes": 3,
+                }
+            ],
+        },
+    }
+
+
+class TestCacGate:
+    def test_identical_payloads_pass(self):
+        payload = _cac_payload()
+        assert check_cac_payload(payload, copy.deepcopy(payload)) == []
+
+    def test_decision_drift_detected(self):
+        current = _cac_payload()
+        committed = copy.deepcopy(current)
+        current["decision_trajectory"]["decisions"][0]["delay_bound"] = "0.05"
+        problems = check_cac_payload(current, committed)
+        assert any("step 0" in p for p in problems)
+
+    def test_missing_committed_trajectory_reported(self):
+        current = _cac_payload()
+        problems = check_cac_payload(current, {"macro_decisions_identical": True})
+        assert any("regenerate" in p for p in problems)
+
+    def test_macro_divergence_reported(self):
+        current = _cac_payload()
+        current["macro_decisions_identical"] = False
+        problems = check_cac_payload(current, copy.deepcopy(_cac_payload()))
+        assert any("macro decisions" in p for p in problems)

@@ -1,0 +1,274 @@
+"""End-to-end verdict and robustness tests for the admission service."""
+
+import asyncio
+
+import pytest
+
+from repro.config import CACConfig, NetworkConfig, ServiceConfig, build_network
+from repro.errors import AuditError
+from repro.network.connection import ConnectionSpec
+from repro.service.bench import TickClock
+from repro.service.degrade import EXACT, FROZEN
+from repro.service.server import (
+    ADMITTED,
+    BUSY,
+    ERROR,
+    REJECTED,
+    RELEASED,
+    TIMEOUT,
+    UNKNOWN,
+    AdmissionService,
+)
+from repro.sim.random import RandomStreams
+from repro.traffic import DualPeriodicTraffic
+
+NET = NetworkConfig(n_rings=4, hosts_per_ring=4)
+TRAFFIC = DualPeriodicTraffic(c1=60_000.0, p1=0.015, c2=30_000.0, p2=0.005)
+HOPELESS = DualPeriodicTraffic(
+    c1=2_000_000.0, p1=0.015, c2=1_000_000.0, p2=0.005
+)
+
+
+def _spec(cid, src="host1-1", dst="host2-1", deadline=0.09, traffic=TRAFFIC):
+    return ConnectionSpec(cid, src, dst, traffic, deadline)
+
+
+def _service(clock=None, **overrides):
+    defaults = dict(workers=0, default_timeout=1e6, snapshot_every=0)
+    defaults.update(overrides)
+    return AdmissionService(
+        build_network(NET),
+        network_config=NET,
+        cac_config=CACConfig(),
+        service_config=ServiceConfig(**defaults),
+        clock=clock or TickClock(),
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestVerdicts:
+    def test_admit_reject_release_unknown_duplicate(self):
+        async def scenario():
+            async with _service() as service:
+                admitted = await service.submit_admit(_spec("c1"))
+                rejected = await service.submit_admit(
+                    _spec("c2", traffic=HOPELESS)
+                )
+                duplicate = await service.submit_admit(_spec("c1"))
+                released = await service.submit_release("c1")
+                unknown = await service.submit_release("c1")
+                return admitted, rejected, duplicate, released, unknown
+
+        admitted, rejected, duplicate, released, unknown = run(scenario())
+        assert admitted.verdict == ADMITTED
+        assert admitted.delay_bound is not None
+        assert admitted.delay_bound <= 0.09
+        assert rejected.verdict == REJECTED
+        assert duplicate.verdict == ERROR
+        assert "already active" in duplicate.reason
+        assert duplicate.conn_id == "c1"
+        assert released.verdict == RELEASED
+        assert unknown.verdict == UNKNOWN
+
+    def test_no_route_rejects(self):
+        async def scenario():
+            async with _service() as service:
+                await service.inject_node_failure("id3")
+                return await service.submit_admit(
+                    _spec("c1", "host3-1", "host4-1")
+                )
+
+        response = run(scenario())
+        assert response.verdict == REJECTED
+        assert "route" in response.reason
+
+    def test_not_running_is_busy(self):
+        service = _service()
+        response = run(service.submit_admit(_spec("c1")))
+        assert response.verdict == BUSY
+
+    def test_counters_and_metrics(self):
+        async def scenario():
+            async with _service() as service:
+                await service.submit_admit(_spec("c1"))
+                await service.submit_admit(_spec("c2", traffic=HOPELESS))
+                await service.submit_release("c1")
+                return service.metrics_snapshot()
+
+        snap = run(scenario())
+        assert snap["n_requests"] == 2
+        assert snap["n_admitted"] == 1
+        assert snap["verdicts"][ADMITTED] == 1
+        assert snap["verdicts"][REJECTED] == 1
+        assert snap["verdicts"][RELEASED] == 1
+
+
+class TestTimeouts:
+    def test_deadline_expired_at_dequeue(self):
+        # Every clock read advances 10 ms; a 5 ms deadline is already in
+        # the past by the time the dispatcher looks at the request.
+        async def scenario():
+            async with _service(clock=TickClock(step=0.010)) as service:
+                return await service.submit_admit(
+                    _spec("late"), timeout=0.005
+                )
+
+        response = run(scenario())
+        assert response.verdict == TIMEOUT
+        assert response.retry_after is not None
+        assert response.retry_after > 0.0
+
+    def test_generous_deadline_admits(self):
+        async def scenario():
+            async with _service(clock=TickClock(step=0.010)) as service:
+                return await service.submit_admit(_spec("ok"), timeout=60.0)
+
+        assert run(scenario()).verdict == ADMITTED
+
+
+class TestBackpressure:
+    def test_priority_shedding_and_queue_bound(self):
+        async def scenario():
+            async with _service(queue_capacity=2) as service:
+                # All four submissions enqueue before the dispatcher runs
+                # (task creation order is the event-loop ready order).
+                t_a = asyncio.create_task(
+                    service.submit_admit(_spec("a", "host1-1", "host2-1"), priority=1)
+                )
+                t_b = asyncio.create_task(
+                    service.submit_admit(_spec("b", "host1-2", "host2-2"), priority=1)
+                )
+                t_c = asyncio.create_task(
+                    service.submit_admit(_spec("c", "host1-3", "host2-3"), priority=0)
+                )
+                t_d = asyncio.create_task(
+                    service.submit_admit(_spec("d", "host3-1", "host4-1"), priority=2)
+                )
+                responses = await asyncio.gather(t_a, t_b, t_c, t_d)
+                return responses, service.metrics.n_shed
+
+        (a, b, c, d), n_shed = run(scenario())
+        # c (lowest priority) bounced off the full queue; b (youngest of
+        # the lowest remaining priority) was displaced by high-priority d.
+        assert a.verdict == ADMITTED
+        assert b.verdict == BUSY and "shed" in b.reason
+        assert c.verdict == BUSY and "full" in c.reason
+        assert d.verdict == ADMITTED
+        assert n_shed == 2
+
+    def test_releases_are_never_shed(self):
+        async def scenario():
+            async with _service(queue_capacity=1) as service:
+                await service.submit_admit(_spec("keep"))
+                tasks = [
+                    asyncio.create_task(service.submit_admit(_spec("a")))
+                ]
+                tasks.append(
+                    asyncio.create_task(service.submit_release("keep"))
+                )
+                return await asyncio.gather(*tasks)
+
+        admit, release = run(scenario())
+        assert release.verdict == RELEASED
+
+    def test_busy_retry_hints_follow_retry_policy_substream(self):
+        async def scenario(seed):
+            async with _service(queue_capacity=1, seed=seed) as service:
+                hints = []
+                for _ in range(3):
+                    t_a = asyncio.create_task(
+                        service.submit_admit(_spec("fill", "host1-1", "host2-1"))
+                    )
+                    t_b = asyncio.create_task(
+                        service.submit_admit(_spec("bounce", "host1-2", "host2-2"))
+                    )
+                    a, b = await asyncio.gather(t_a, t_b)
+                    assert b.verdict == BUSY
+                    hints.append(b.retry_after)
+                    await service.submit_release("fill")
+                return hints
+
+        first = run(scenario(seed=5))
+        second = run(scenario(seed=5))
+        other = run(scenario(seed=6))
+        assert first == second
+        assert first != other
+        # Exponential shape: each hint roughly doubles (jitter <= 10%).
+        assert first[0] < first[1] < first[2]
+
+    def test_retry_hint_matches_policy_substream_exactly(self):
+        async def scenario():
+            async with _service(queue_capacity=1, seed=11) as service:
+                t_a = asyncio.create_task(
+                    service.submit_admit(_spec("fill", "host1-1", "host2-1"))
+                )
+                t_b = asyncio.create_task(
+                    service.submit_admit(_spec("bounce", "host1-2", "host2-2"))
+                )
+                _, b = await asyncio.gather(t_a, t_b)
+                return b.retry_after, service._retry_policy
+
+        hint, policy = run(scenario())
+        expected = policy.delay(1, RandomStreams(11).stream("retry:bounce"))
+        assert hint == expected
+
+
+class TestFreeze:
+    def test_freeze_sheds_and_thaws(self):
+        async def scenario():
+            clock = TickClock(step=1e-6)
+            service = _service(
+                clock=clock,
+                latency_window=4,
+                min_dwell=4,
+                freeze_probe_every=4,
+            )
+            async with service:
+                # Overload: every decision measures as one second.
+                clock.step = 1.0
+                busy = 0
+                for j in range(12):
+                    response = await service.submit_admit(
+                        _spec(f"hot-{j}", f"host1-{(j % 4) + 1}", f"host2-{(j % 4) + 1}", 0.15)
+                    )
+                    if response.verdict == BUSY:
+                        busy += 1
+                frozen = service.ladder.level
+                # Recovery: decisions measure fast, the ladder walks down.
+                clock.step = 1e-6
+                for j in range(40):
+                    await service.submit_admit(
+                        _spec(f"cool-{j}", "host3-1", "host4-1")
+                    )
+                    await service.submit_release(f"cool-{j}")
+                return busy, frozen, service.ladder.level
+
+        busy, frozen, final = run(scenario())
+        assert frozen == FROZEN
+        assert busy > 0
+        assert final == EXACT
+
+
+class TestShutdownAudit:
+    def test_stop_raises_on_ledger_leak(self):
+        async def scenario():
+            service = _service()
+            async with service:
+                await service.submit_admit(_spec("c1"))
+                # Sabotage the ledger behind the controller's back.
+                ring = service.state.topology.rings["ring1"]
+                ring.allocate("ghost", 1e-3)
+
+        with pytest.raises(AuditError, match="leaked"):
+            run(scenario())
+
+    def test_clean_stop_passes_audit(self):
+        async def scenario():
+            async with _service() as service:
+                await service.submit_admit(_spec("c1"))
+                await service.submit_release("c1")
+
+        run(scenario())
