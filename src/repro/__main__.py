@@ -17,6 +17,9 @@ Commands
 ``service ...``
     Forwards to :mod:`repro.service` (``serve``, ``bench``, ``soak``,
     ``replay``) — the standing admission-control server.
+``scenario ...``
+    Forwards to :mod:`repro.scenario` (``generate``, ``replay``, ``fuzz``,
+    ``manifest``) — unified scenario specs + differential fuzzing.
 """
 
 from __future__ import annotations
@@ -118,6 +121,10 @@ def main(argv=None) -> int:
         from repro.service.__main__ import main as service_main
 
         return service_main(argv[1:])
+    if argv[:1] == ["scenario"]:
+        from repro.scenario.__main__ import main as scenario_main
+
+        return scenario_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="FDDI-ATM-FDDI real-time CAC — operator utilities.",
@@ -156,6 +163,13 @@ def main(argv=None) -> int:
     sub.add_parser(
         "service",
         help="standing admission-control service (serve/bench/soak/replay)",
+        add_help=False,
+    )
+
+    sub.add_parser(
+        "scenario",
+        help="unified scenario specs + differential fuzzing "
+        "(generate/replay/fuzz/manifest)",
         add_help=False,
     )
 

@@ -6,6 +6,8 @@ catch everything from this package with a single ``except`` clause.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -78,6 +80,52 @@ class AuditError(ReproError):
     service's sharded equivalent) reports leaked synchronous bandwidth or
     deadline violations.  The message carries the full audit report.
     """
+
+
+class ScenarioSpecError(ReproError):
+    """A scenario spec failed to parse, validate or serialize.
+
+    Raised by :mod:`repro.scenario.codec` for structural problems: unknown
+    top-level or nested fields, missing required fields, values of the
+    wrong type, or traffic models outside the closed registry.  Parsing is
+    strict by design — a mistyped knob must fail loudly, not silently run
+    the default scenario.
+    """
+
+
+class ScenarioInvariantError(ReproError):
+    """A fuzzed scenario violated the differential invariant suite.
+
+    Raised by :mod:`repro.scenario.fuzz` after shrinking: carries the
+    violated invariant names, the offending spec's content hash, the
+    generator seed (``None`` for hand-written specs), and the path of the
+    minimal reproducer written to disk, so the failure is reproducible with
+    ``python -m repro scenario replay <reproducer.json>``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariants: Tuple[str, ...] = (),
+        spec_hash: str = "",
+        seed: Optional[int] = None,
+        reproducer_path: Optional[str] = None,
+    ) -> None:
+        details = [message]
+        if invariants:
+            details.append(f"violated: {', '.join(invariants)}")
+        if spec_hash:
+            details.append(f"spec {spec_hash[:12]}")
+        if seed is not None:
+            details.append(f"seed {seed}")
+        if reproducer_path:
+            details.append(f"reproducer: {reproducer_path}")
+        super().__init__(" | ".join(details))
+        self.invariants = invariants
+        self.spec_hash = spec_hash
+        self.seed = seed
+        self.reproducer_path = reproducer_path
 
 
 class JournalError(ReproError):

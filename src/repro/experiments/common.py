@@ -11,6 +11,7 @@ from repro.config import (
     NetworkConfig,
     SimulationConfig,
 )
+from repro.scenario.spec import AnalysisKnobs, ArrivalsSpec, ScenarioSpec
 
 #: Offered-load calibration used by default (see SimulationConfig.load_scale
 #: and EXPERIMENTS.md): one scalar fitted so that AP(U=0.3, beta=0.5) lands
@@ -51,6 +52,36 @@ class ExperimentSettings:
         return CACConfig(
             beta=beta,
             analysis=AnalysisConfig(coarsen_segments=self.coarsen_segments),
+        )
+
+    def scenario(
+        self,
+        utilization: float,
+        beta: float,
+        seed: int,
+        name: Optional[str] = None,
+    ) -> ScenarioSpec:
+        """The :class:`ScenarioSpec` of one sweep point ``(U, beta, seed)``.
+
+        Every experiment builds its grid through this producer and runs it
+        via :func:`repro.scenario.loader.connection_sim_config`, which maps
+        a default-knob spec to the exact ``ConnectionSimConfig`` the
+        pre-spec code built by hand — figure CSVs stay byte-identical.
+        """
+        scale = CALIBRATED_LOAD_SCALE if self.calibrate_load else 1.0
+        return ScenarioSpec(
+            name=name or f"U{utilization:g}-beta{beta:g}-seed{seed}",
+            topology=self.network,
+            cac=AnalysisKnobs(
+                beta=beta, coarsen_segments=self.coarsen_segments
+            ),
+            arrivals=ArrivalsSpec(
+                utilization=utilization,
+                seed=seed,
+                n_requests=self.n_requests,
+                warmup_requests=self.warmup_requests,
+                load_scale=scale,
+            ),
         )
 
     @staticmethod

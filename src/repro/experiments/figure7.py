@@ -17,7 +17,7 @@ from repro.experiments.common import (
     mean_and_spread,
 )
 from repro.experiments.parallel import SimTask, run_sims
-from repro.sim.connection_sim import ConnectionSimConfig
+from repro.scenario.loader import connection_sim_config
 
 #: The paper's loading conditions.
 UTILIZATIONS = (0.3, 0.6, 0.9)
@@ -33,20 +33,8 @@ def run_figure7(
 ) -> List[SeriesResult]:
     """Regenerate the Figure 7 series (one per utilization)."""
     settings = settings or ExperimentSettings()
-    sim_cfg = settings.simulation_config()
     tasks = [
-        SimTask(
-            ConnectionSimConfig(
-                utilization=u,
-                beta=beta,
-                seed=seed,
-                n_requests=settings.n_requests,
-                warmup_requests=settings.warmup_requests,
-                network=settings.network,
-                simulation=sim_cfg,
-                cac=settings.cac_config(beta),
-            )
-        )
+        SimTask(connection_sim_config(settings.scenario(u, beta, seed)))
         for u in utilizations
         for beta in betas
         for seed in settings.seeds

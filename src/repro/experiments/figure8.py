@@ -16,7 +16,7 @@ from repro.experiments.common import (
     mean_and_spread,
 )
 from repro.experiments.parallel import SimTask, run_sims
-from repro.sim.connection_sim import ConnectionSimConfig
+from repro.scenario.loader import connection_sim_config
 
 #: The beta values of Figure 8.
 BETAS = (0.0, 0.5, 1.0)
@@ -32,20 +32,8 @@ def run_figure8(
 ) -> List[SeriesResult]:
     """Regenerate the Figure 8 series (one per beta)."""
     settings = settings or ExperimentSettings()
-    sim_cfg = settings.simulation_config()
     tasks = [
-        SimTask(
-            ConnectionSimConfig(
-                utilization=u,
-                beta=beta,
-                seed=seed,
-                n_requests=settings.n_requests,
-                warmup_requests=settings.warmup_requests,
-                network=settings.network,
-                simulation=sim_cfg,
-                cac=settings.cac_config(beta),
-            )
-        )
+        SimTask(connection_sim_config(settings.scenario(u, beta, seed)))
         for beta in betas
         for u in utilizations
         for seed in settings.seeds

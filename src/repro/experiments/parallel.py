@@ -29,11 +29,21 @@ the pool before propagating, so Ctrl-C never leaves orphaned workers.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import multiprocessing
 import os
 import pickle
 import traceback
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.core.policies import AllocationPolicy
 from repro.errors import ReproError
@@ -149,4 +159,77 @@ def run_sims(tasks: Sequence[SimTask], jobs: int = 1) -> List[SimResult]:
                 index, tasks[index].describe(), exc_name, message, tb
             )
         results.append(outcome)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Generic fan-out (scenario fuzzing, corpus validation, ...)
+# ----------------------------------------------------------------------
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+#: (index, ("ok", result)) or (index, ("err", (name, message, traceback))).
+#: Tagged because a generic result may itself be a tuple.
+_TaggedOutcome = Tuple[int, Tuple[str, Any]]
+
+
+def _run_item_safe(
+    fn: Callable[[Any], Any], item: Tuple[int, Any]
+) -> _TaggedOutcome:
+    """Generic worker entry point; failures ship back as data."""
+    index, payload = item
+    try:
+        return index, ("ok", fn(payload))
+    except BaseException as exc:  # noqa: BLE001 — same contract as above
+        return index, (
+            "err",
+            (type(exc).__name__, str(exc), traceback.format_exc()),
+        )
+
+
+def run_parallel(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Sequence[_ItemT],
+    jobs: int = 1,
+    describe: Callable[[_ItemT], str] = repr,
+) -> List[_ResultT]:
+    """Map ``fn`` over ``items`` with :func:`run_sims`'s exact semantics,
+    for arbitrary picklable work (the scenario fuzzer's corpus fan-out).
+
+    Results come back in item order; ``jobs <= 1`` or unpicklable work
+    degrades to a serial loop; a worker failure raises
+    :class:`SweepCellError` naming the item via ``describe``.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        pickle.dumps((fn, items))
+    except Exception:
+        return [fn(item) for item in items]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    pool = ctx.Pool(processes=min(jobs, len(items)))
+    try:
+        outcomes = pool.map(
+            functools.partial(_run_item_safe, fn),
+            list(enumerate(items)),
+            chunksize=1,
+        )
+        pool.close()
+    except BaseException:
+        pool.terminate()
+        raise
+    finally:
+        pool.join()
+
+    results: List[_ResultT] = []
+    for index, (tag, payload) in outcomes:
+        if tag == "err":
+            exc_name, message, tb = payload
+            raise SweepCellError(
+                index, describe(items[index]), exc_name, message, tb
+            )
+        results.append(payload)
     return results

@@ -19,6 +19,7 @@ release/re-admit path).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import AuditError
@@ -31,7 +32,8 @@ from repro.experiments.common import (
 from repro.experiments.parallel import SimTask, run_sims
 from repro.faults.injector import FaultConfig
 from repro.faults.retry import RetryPolicy
-from repro.sim.connection_sim import ConnectionSimConfig
+from repro.scenario.loader import connection_sim_config
+from repro.scenario.spec import FaultPlan
 
 #: Load sweep (same axis as Figure 8).
 UTILIZATIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
@@ -65,23 +67,17 @@ def run_survivability(
     the failure list back for custom reporting instead.
     """
     settings = settings or ExperimentSettings()
-    sim_cfg = settings.simulation_config()
     tasks = []
     for u in utilizations:
         for seed in settings.seeds:
-            base = dict(
-                utilization=u,
-                beta=BETA,
-                seed=seed,
-                n_requests=settings.n_requests,
-                warmup_requests=settings.warmup_requests,
-                network=settings.network,
-                simulation=sim_cfg,
+            clean_spec = settings.scenario(u, BETA, seed)
+            faulted_spec = dataclasses.replace(
+                clean_spec,
+                name=f"{clean_spec.name}-faults",
+                faults=FaultPlan(config=faults, retry=retry),
             )
-            tasks.append(SimTask(ConnectionSimConfig(**base)))
-            tasks.append(
-                SimTask(ConnectionSimConfig(**base, faults=faults, retry=retry))
-            )
+            tasks.append(SimTask(connection_sim_config(clean_spec)))
+            tasks.append(SimTask(connection_sim_config(faulted_spec)))
     results = iter(run_sims(tasks, jobs=jobs))
     ap_clean = SeriesResult(label="AP no-faults")
     ap_faults = SeriesResult(label="AP faults")

@@ -1,0 +1,226 @@
+"""Scenario CLI: ``python -m repro scenario <command>``.
+
+Commands
+--------
+``generate``
+    Print (or write) the deterministic spec for a fuzz seed.
+``replay <spec.json>``
+    Run the differential invariant suite on one spec file — the repro
+    path printed by every fuzz failure.
+``fuzz``
+    Drive a corpus of seeds through the invariant suite, shrinking any
+    violation to a minimal reproducer under ``--out``.  ``--check``
+    validates the committed corpus instead: the manifest's seeds must
+    regenerate to their recorded hashes and pass, and every committed
+    reproducer must replay clean.
+``manifest``
+    (Re)write the corpus manifest for a seed range.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.scenario import codec
+from repro.scenario.check import CheckOptions, check_scenario
+from repro.scenario.fuzz import (
+    DEFAULT_OUT_DIR,
+    check_reproducers,
+    generate_spec,
+    load_manifest,
+    run_corpus,
+    seeds_to_cases,
+    write_manifest,
+)
+
+DEFAULT_MANIFEST = "corpus/scenarios.json"
+DEFAULT_REPRODUCERS = "corpus/reproducers"
+
+
+def _options(args: argparse.Namespace) -> CheckOptions:
+    return CheckOptions(
+        packet=not args.no_packet,
+        differential=not args.no_differential,
+        coarsening=not args.no_coarsening,
+        replay=not args.no_replay,
+        bound_scale=args.bound_scale,
+    )
+
+
+def _add_check_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-packet", action="store_true",
+        help="skip the packet-level bound validation",
+    )
+    parser.add_argument(
+        "--no-differential", action="store_true",
+        help="skip the incremental-vs-full differential",
+    )
+    parser.add_argument(
+        "--no-coarsening", action="store_true",
+        help="skip the coarsening-conservative check",
+    )
+    parser.add_argument(
+        "--no-replay", action="store_true",
+        help="skip the deterministic-replay check",
+    )
+    parser.add_argument(
+        "--bound-scale", type=float, default=1.0,
+        help="test-only: scale analytic bounds before the packet "
+        "comparison (<1 plants violations)",
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    spec = generate_spec(args.seed)
+    text = codec.dumps(spec)
+    if args.out:
+        codec.save_file(spec, args.out)
+        print(f"wrote {args.out} ({codec.spec_hash(spec)[:12]})")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    spec = codec.load_file(args.spec)
+    report = check_scenario(spec, _options(args))
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.check:
+        return _fuzz_check(args)
+    if args.manifest:
+        cases = load_manifest(args.manifest)
+    else:
+        cases = seeds_to_cases(
+            range(args.seed_start, args.seed_start + args.seeds)
+        )
+    if args.limit is not None:
+        cases = cases[: args.limit]
+    summary = run_corpus(
+        cases, _options(args), jobs=args.jobs, out_dir=args.out
+    )
+    n_fail = len(summary.failures)
+    print(f"fuzz: {summary.n_cases} scenarios, {n_fail} violation(s)")
+    for failure in summary.failures:
+        print(
+            f"  seed {failure.seed}: {', '.join(failure.invariants)} -> "
+            f"{failure.reproducer_path} "
+            f"(shrunk in {failure.shrink.evaluations} evaluations)"
+        )
+        print(f"  replay: python -m repro scenario replay "
+              f"{failure.reproducer_path}")
+    if not summary.ok:
+        summary.raise_first()
+    return 0
+
+
+def _fuzz_check(args: argparse.Namespace) -> int:
+    """Validate the committed corpus (CI regression mode)."""
+    cases = load_manifest(args.manifest or DEFAULT_MANIFEST)
+    if args.limit is not None:
+        cases = cases[: args.limit]
+    summary = run_corpus(
+        cases, _options(args), jobs=args.jobs, out_dir=args.out
+    )
+    print(
+        f"corpus: {summary.n_cases} manifest scenario(s), "
+        f"{len(summary.failures)} violation(s)"
+    )
+    reproducer_failures: List[str] = []
+    reproducers = args.reproducers or DEFAULT_REPRODUCERS
+    try:
+        reports = check_reproducers(reproducers, _options(args))
+    except FileNotFoundError:
+        reports = {}
+    for path, report in sorted(reports.items()):
+        status = "PASS" if report.ok else "FAIL"
+        print(f"  reproducer {path}: {status}")
+        if not report.ok:
+            reproducer_failures.append(path)
+    if reproducer_failures:
+        print(
+            "regression reproducers failing again: "
+            + ", ".join(reproducer_failures),
+            file=sys.stderr,
+        )
+        return 1
+    if not summary.ok:
+        summary.raise_first()
+    return 0
+
+
+def cmd_manifest(args: argparse.Namespace) -> int:
+    cases = write_manifest(
+        args.manifest or DEFAULT_MANIFEST,
+        list(range(args.seed_start, args.seed_start + args.seeds)),
+    )
+    print(f"wrote {args.manifest or DEFAULT_MANIFEST} ({len(cases)} cases)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenario",
+        description="Unified scenario specs + differential fuzzing.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="print the spec for one seed")
+    p_gen.add_argument("--seed", type=int, required=True)
+    p_gen.add_argument("--out", help="write the spec here instead")
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_replay = sub.add_parser(
+        "replay", help="run the invariant suite on a spec file"
+    )
+    p_replay.add_argument("spec", help="path to a scenario spec JSON file")
+    _add_check_flags(p_replay)
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="fuzz a corpus of seeds through the invariant suite"
+    )
+    p_fuzz.add_argument("--seeds", type=int, default=25,
+                        help="number of sequential seeds to fuzz")
+    p_fuzz.add_argument("--seed-start", type=int, default=1)
+    p_fuzz.add_argument("--manifest",
+                        help="fuzz the seeds of this corpus manifest")
+    p_fuzz.add_argument("--limit", type=int, default=None,
+                        help="cap the number of cases (CI smoke)")
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the corpus fan-out")
+    p_fuzz.add_argument("--out", default=DEFAULT_OUT_DIR,
+                        help="directory for minimal reproducers")
+    p_fuzz.add_argument("--check", action="store_true",
+                        help="validate the committed corpus + reproducers")
+    p_fuzz.add_argument("--reproducers", default=None,
+                        help=f"reproducer dir for --check "
+                             f"(default {DEFAULT_REPRODUCERS})")
+    _add_check_flags(p_fuzz)
+    p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_manifest = sub.add_parser(
+        "manifest", help="(re)write the corpus manifest for a seed range"
+    )
+    p_manifest.add_argument("--seeds", type=int, default=500)
+    p_manifest.add_argument("--seed-start", type=int, default=1)
+    p_manifest.add_argument("--manifest", default=None)
+    p_manifest.set_defaults(func=cmd_manifest)
+
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,11 @@
 * ``bench``  — the churn/overload/kill-recovery bench (``BENCH_service.json``);
 * ``soak``   — a time-boxed churn soak with one injected node failure and
   one kill/restore cycle (the CI smoke job); exits non-zero on any leak,
-  recovery mismatch, or missed degradation;
+  recovery mismatch, or missed degradation.  ``--scenario SPEC`` soaks the
+  topology, analysis knobs and standing population of a scenario-spec file
+  (e.g. a fuzz reproducer) instead of the built-in 6-ring setup;
 * ``replay`` — inspect a journal directory: restore it and report.
+  ``--scenario SPEC`` restores against a scenario-spec file's topology.
 """
 
 from __future__ import annotations
@@ -33,6 +36,23 @@ from repro.service.server import AdmissionService
 
 def _network(n_rings: int) -> NetworkConfig:
     return NetworkConfig(n_rings=n_rings, hosts_per_ring=4)
+
+
+def _load_scenario(path: str):
+    """A scenario-spec file as (spec, network config, CAC config).
+
+    Lets ``soak`` and ``replay`` run against the exact topology and
+    analysis knobs of a serialized :class:`~repro.scenario.spec.ScenarioSpec`
+    (e.g. a fuzz reproducer) instead of the built-in defaults.
+    """
+    from repro.scenario import codec as scenario_codec
+    from repro.scenario import loader as scenario_loader
+
+    spec = scenario_codec.load_file(path)
+    cac_cfg = scenario_loader.cac_config(spec)
+    if cac_cfg is None:
+        cac_cfg = CACConfig(beta=spec.cac.beta)
+    return spec, spec.topology, cac_cfg
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -85,8 +105,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_soak(args: argparse.Namespace) -> int:
     """Churn for ~``--seconds``, fail/repair a node, kill and restore."""
-    config = _network(6)
+    scenario = None
+    if args.scenario:
+        scenario, config, cac_cfg = _load_scenario(args.scenario)
+        print(f"[soak] scenario {scenario.name!r} from {args.scenario}")
+    else:
+        config = _network(6)
+        cac_cfg = CACConfig()
     problems: List[str] = []
+    n_rings = config.n_rings
+    fail_node = f"id{max(2, n_rings - 1)}"
+    host_idx = min(2, config.hosts_per_ring)
+
+    def _churn_op(r: int):
+        if scenario is None:
+            # The historical 6-ring pattern (rings 1/3/5 -> 2/4/6).
+            return _admit(
+                f"soak-{r}",
+                f"host{(r % 3) * 2 + 1}-1",
+                f"host{(r % 3) * 2 + 2}-2",
+            )
+        src_ring = (r % n_rings) + 1
+        dst_ring = (src_ring % n_rings) + 1
+        return _admit(
+            f"soak-{r}",
+            f"host{src_ring}-1",
+            f"host{dst_ring}-{host_idx}",
+        )
 
     async def _run() -> None:
         with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
@@ -94,7 +139,7 @@ def cmd_soak(args: argparse.Namespace) -> int:
             service = AdmissionService(
                 build_network(config),
                 network_config=config,
-                cac_config=CACConfig(),
+                cac_config=cac_cfg,
                 service_config=ServiceConfig(
                     workers=args.workers, snapshot_every=25
                 ),
@@ -103,38 +148,42 @@ def cmd_soak(args: argparse.Namespace) -> int:
             await service.start()
             from repro.service.bench import apply_ops
 
-            await apply_ops(service, trajectory_ops())
+            if scenario is None:
+                await apply_ops(service, trajectory_ops())
+            else:
+                # Standing population: the spec's explicit connections.
+                from repro.scenario.loader import offered_connections
+
+                for conn in offered_connections(scenario):
+                    await service.submit_admit(conn)
             deadline = time.monotonic() + args.seconds
             r = 0
             failed = repaired = False
             while time.monotonic() < deadline:
-                await service.submit_admit(
-                    _spec_of(
-                        _admit(
-                            f"soak-{r}",
-                            f"host{(r % 3) * 2 + 1}-1",
-                            f"host{(r % 3) * 2 + 2}-2",
-                        )
-                    )
-                )
+                await service.submit_admit(_spec_of(_churn_op(r)))
                 await service.submit_release(f"soak-{r}")
                 r += 1
                 if not failed and time.monotonic() > deadline - args.seconds / 2:
-                    displaced = await service.inject_node_failure("id5")
-                    print(f"[soak] failed id5, displaced {len(displaced)}")
+                    displaced = await service.inject_node_failure(fail_node)
+                    print(
+                        f"[soak] failed {fail_node}, "
+                        f"displaced {len(displaced)}"
+                    )
                     failed = True
                 elif failed and not repaired and time.monotonic() > (
                     deadline - args.seconds / 4
                 ):
-                    await service.repair_node("id5")
-                    print("[soak] repaired id5")
+                    await service.repair_node(fail_node)
+                    print(f"[soak] repaired {fail_node}")
                     repaired = True
             if not failed:
-                displaced = await service.inject_node_failure("id5")
-                print(f"[soak] failed id5, displaced {len(displaced)}")
+                displaced = await service.inject_node_failure(fail_node)
+                print(
+                    f"[soak] failed {fail_node}, displaced {len(displaced)}"
+                )
             if not repaired:
-                await service.repair_node("id5")
-                print("[soak] repaired id5")
+                await service.repair_node(fail_node)
+                print(f"[soak] repaired {fail_node}")
             pre_kill = service.signature()
             decided = service.metrics.decision_latency.n
             # Kill: abandon without stop(); the journal is the survivor.
@@ -143,7 +192,7 @@ def cmd_soak(args: argparse.Namespace) -> int:
                 build_network(config),
                 wal,
                 network_config=config,
-                cac_config=CACConfig(),
+                cac_config=cac_cfg,
                 service_config=ServiceConfig(workers=args.workers),
             )
             print(
@@ -157,7 +206,14 @@ def cmd_soak(args: argparse.Namespace) -> int:
                 )
             await restored.start(fresh_journal=False)
             await apply_ops(
-                restored, [_admit("post-restore", "host1-4", "host2-1")]
+                restored,
+                [
+                    _admit(
+                        "post-restore",
+                        f"host1-{config.hosts_per_ring}",
+                        "host2-1",
+                    )
+                ],
             )
             await restored.stop()  # raises AuditError on any leak
 
@@ -170,12 +226,21 @@ def cmd_soak(args: argparse.Namespace) -> int:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    config = _network(args.rings)
-    service, report = AdmissionService.restore(
-        build_network(config),
-        args.journal_dir,
-        network_config=config,
-    )
+    if args.scenario:
+        _, config, cac_cfg = _load_scenario(args.scenario)
+        service, report = AdmissionService.restore(
+            build_network(config),
+            args.journal_dir,
+            network_config=config,
+            cac_config=cac_cfg,
+        )
+    else:
+        config = _network(args.rings)
+        service, report = AdmissionService.restore(
+            build_network(config),
+            args.journal_dir,
+            network_config=config,
+        )
     print(
         json.dumps(
             {
@@ -232,11 +297,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     soak.add_argument("--seconds", type=float, default=60.0)
     soak.add_argument("--workers", type=int, default=0)
+    soak.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SPEC",
+        help="soak the topology/knobs/standing-population of a scenario "
+        "spec file instead of the built-in 6-ring setup",
+    )
     soak.set_defaults(func=cmd_soak)
 
     replay = sub.add_parser("replay", help="inspect a journal directory")
     replay.add_argument("journal_dir")
     replay.add_argument("--rings", type=int, default=3)
+    replay.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SPEC",
+        help="restore against the topology/knobs of a scenario spec file "
+        "(overrides --rings)",
+    )
     replay.set_defaults(func=cmd_replay)
 
     args = parser.parse_args(argv)

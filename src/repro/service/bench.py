@@ -40,6 +40,7 @@ from repro.config import (
     build_network,
 )
 from repro.network.connection import ConnectionSpec
+from repro.scenario.spec import ConnectionEntry, ScenarioSpec
 from repro.service.degrade import EXACT
 from repro.service.server import AdmissionService, ServiceResponse
 from repro.traffic.dual_periodic import DualPeriodicTraffic
@@ -83,8 +84,40 @@ def deterministic_config(snapshot_every: int = 7) -> ServiceConfig:
     )
 
 
+def scenario_spec() -> ScenarioSpec:
+    """The bench's fixed network and standing population as a scenario spec.
+
+    The bench (and the soak's default mode) is a *spec producer*: the
+    topology and the background admissions come from this one declarative
+    object, and ``python -m repro scenario replay`` can run the same
+    standing population through the differential invariant suite.  The
+    op-level parts of the bench (releases, duplicate admits, scripted node
+    faults) stay in :func:`trajectory_ops` — a spec describes load, not an
+    interactive session.
+    """
+    c1, p1, c2, p2 = BG
+    traffic = DualPeriodicTraffic(c1=c1, p1=p1, c2=c2, p2=p2)
+    entries = []
+    for a, b in ((1, 2), (3, 4), (5, 6)):
+        for j in range(PER_GROUP):
+            entries.append(
+                ConnectionEntry(
+                    conn_id=f"bg{a}-{j}",
+                    source_host=f"host{a}-{(j % 4) + 1}",
+                    dest_host=f"host{b}-{((j + 1) % 4) + 1}",
+                    traffic=traffic,
+                    deadline=BG_DEADLINE,
+                )
+            )
+    return ScenarioSpec(
+        name="service-bench",
+        topology=NetworkConfig(n_rings=N_RINGS, hosts_per_ring=4),
+        connections=tuple(entries),
+    )
+
+
 def _network_config() -> NetworkConfig:
-    return NetworkConfig(n_rings=N_RINGS, hosts_per_ring=4)
+    return scenario_spec().topology
 
 
 def _admit(

@@ -18,7 +18,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.config import CACConfig, NetworkConfig, SimulationConfig, build_network
-from repro.core.cac import AdmissionController
+from repro.core.cac import AdmissionController, AdmissionResult
 from repro.core.failover import FailoverManager
 from repro.core.policies import AllocationPolicy
 from repro.errors import ReproError
@@ -274,6 +274,28 @@ class ConnectionSimulator:
         self._active_hosts.discard(entry.spec.source_host)
 
     # ------------------------------------------------------------------
+
+    def preadmit(self, spec: ConnectionSpec) -> "AdmissionResult":
+        """Admit a fixed connection before the stochastic run starts.
+
+        Scenario-spec runs (:mod:`repro.scenario`) pin an explicit
+        connection set under the stochastic churn: an admitted pinned
+        connection occupies its source host and never departs, so it stays
+        in the active set for the whole run.  Must be called before
+        :meth:`run`; incompatible with fault injection (a displaced pinned
+        connection has no departure to cancel), which the scenario spec
+        validation enforces.
+        """
+        if self.config.faults_enabled:
+            raise ReproError(
+                "preadmitted connections are incompatible with fault "
+                "injection"
+            )
+        result = self.cac.request(spec)
+        if result.admitted:
+            self._active_hosts.add(spec.source_host)
+            self.metrics.record_active_change(self.sim.now, +1)
+        return result
 
     def run(self) -> SimResult:
         """Run until ``n_requests`` requests have been issued."""

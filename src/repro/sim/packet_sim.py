@@ -222,6 +222,11 @@ class PacketLevelSimulator:
         self._batches: List[_Batch] = []
         self._rings: Dict[str, _TokenRing] = {}
         self._ports: Dict[str, _FifoPort] = {}
+        #: (link_id, conn_id) -> next hop.  Ports are shared across routes
+        #: but continuations are not: a chunk leaving a port must follow
+        #: *its connection's* route, so the next hop is looked up per chunk
+        #: at forward time.
+        self._port_next: Dict[Tuple[str, str], Callable[[_Chunk], None]] = {}
         self._dest_station: Dict[str, _Station] = {}
         self._build()
 
@@ -232,10 +237,20 @@ class PacketLevelSimulator:
             ring_id: [] for ring_id in self.topology.rings
         }
 
-        # ATM fabric: one FIFO per output port a load traverses.
-        def port_for(name: str, rate: float, extra: float, forward) -> _FifoPort:
+        # ATM fabric: one FIFO per output port a load traverses.  The port
+        # object is shared by every connection crossing the link; where a
+        # served chunk goes next depends on the chunk's connection, so the
+        # forward hook dispatches through ``_port_next``.
+        def port_for(name: str, rate: float, extra: float) -> _FifoPort:
             if name not in self._ports:
-                self._ports[name] = _FifoPort(rate, extra, self.sim, forward)
+                self._ports[name] = _FifoPort(
+                    rate,
+                    extra,
+                    self.sim,
+                    lambda chunk, link=name: self._port_next[
+                        (link, chunk.conn_id)
+                    ](chunk),
+                )
             return self._ports[name]
 
         for load in self.loads:
@@ -286,8 +301,8 @@ class PacketLevelSimulator:
                 downlink.link_id,
                 downlink.payload_rate,
                 self.config.port_latency + downlink.propagation_delay,
-                into_dest_ring,
             )
+            self._port_next[(downlink.link_id, conn_id)] = into_dest_ring
 
             # Inter-switch ports, from the end back to the first switch.
             for idx in range(len(path) - 2, -1, -1):
@@ -302,8 +317,8 @@ class PacketLevelSimulator:
                     link.link_id,
                     link.payload_rate,
                     self.config.port_latency + link.propagation_delay,
-                    through_fabric,
                 )
+                self._port_next[(link.link_id, conn_id)] = through_fabric
 
             first_switch_stage = next_stage
             first_switch = self.topology.switches[path[0]]
@@ -316,8 +331,8 @@ class PacketLevelSimulator:
                 uplink.link_id,
                 uplink.payload_rate,
                 self.config.port_latency + uplink.propagation_delay,
-                into_backbone,
             )
+            self._port_next[(uplink.link_id, conn_id)] = into_backbone
 
             def into_id(chunk, now, dev=src_dev, port=uplink_port):
                 delay = (

@@ -147,6 +147,36 @@ class TestSimMechanics:
         )
         assert crowded.max_delay["c0"] >= alone.max_delay["c0"] - 1e-6
 
+    def test_shared_ports_route_per_connection(self):
+        # Two connections share the id1 uplink then diverge to different
+        # rings.  Shared ports must forward each chunk down *its* route:
+        # every destination station receives exactly its own connection's
+        # offered bits (a cached first-builder continuation would funnel
+        # both connections through whichever route was built first).
+        topo, cac, loads = admit([("host1-1", "host2-1"), ("host1-2", "host3-1")])
+        sim = PacketLevelSimulator(topo, loads)
+        received = {cid: 0.0 for cid in sim._dest_station}
+
+        def spy(station, cid):
+            orig = station.enqueue_chunk
+
+            def wrapped(chunk):
+                received[cid] += chunk.bits
+                for batch, _ in chunk.slices:
+                    assert batch.conn_id == cid
+                orig(chunk)
+
+            return wrapped
+
+        for cid, station in sim._dest_station.items():
+            station.enqueue_chunk = spy(station, cid)
+        sim.run(duration=0.2)
+        offered = {cid: 0.0 for cid in received}
+        for batch in sim._batches:
+            offered[batch.conn_id] += batch.bits
+        for cid in received:
+            assert received[cid] == pytest.approx(offered[cid])
+
     def test_local_route_supported(self):
         from repro.config import CACConfig
 
