@@ -92,6 +92,20 @@ class AnalysisConfig:
     #: (the default) is exact mode: results are bit-identical to the
     #: uncapped analysis and the figure-7/8 artifacts are unchanged.
     coarsen_segments: Optional[int] = None
+    #: Cap on the cyclic fixed-point iteration (see repro.core.delay):
+    #: cyclic port-dependency graphs are solved by iterating the monotone
+    #: per-port shift map until the quantized shift vector repeats
+    #: exactly; exceeding this cap raises FixedPointDivergenceError
+    #: (treated as instability, i.e. automatic CAC rejection).
+    fixed_point_max_iterations: int = 100
+    #: Convergence tolerance used only when ``output_delay_quantum`` is 0
+    #: (shifts are then continuous, so exact repetition is replaced by a
+    #: relative-change test).
+    fixed_point_rtol: float = 1e-9
+    #: **Test-only.**  Route every analysis through the fixed-point
+    #: solver, even on feed-forward topologies, so equivalence with the
+    #: chain analysis can be asserted bit-for-bit.
+    force_fixed_point: bool = False
 
     def __post_init__(self) -> None:
         if self.envelope_horizon <= 0:
@@ -104,6 +118,10 @@ class AnalysisConfig:
             raise ConfigurationError("stage cache needs at least 4 entries")
         if self.coarsen_segments is not None and self.coarsen_segments < 8:
             raise ConfigurationError("coarsen_segments must be >= 8 (or None)")
+        if self.fixed_point_max_iterations < 1:
+            raise ConfigurationError("fixed_point_max_iterations must be >= 1")
+        if self.fixed_point_rtol <= 0:
+            raise ConfigurationError("fixed_point_rtol must be positive")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -259,21 +277,34 @@ class SimulationConfig:
             raise ConfigurationError("load scale must be positive")
 
     def arrival_rate_for_utilization(
-        self, utilization: float, network: Optional[NetworkConfig]
+        self,
+        utilization: float,
+        network: Optional[NetworkConfig],
+        backbone_capacity: Optional[float] = None,
     ) -> float:
         """Invert the paper's load formula ``U = (lambda / (3 mu)) * rho / C``.
 
         ``rho`` is the workload's mean long-term rate and ``C`` the backbone
-        link capacity; the 3 is the paper's three backbone links (generalized
-        to the configured ring count).
+        link capacity; the 3 is the paper's three backbone links.  The
+        pairwise mesh has ``n (n - 1) / 2`` bidirectional backbone links
+        (3 exactly for the paper's triangle; earlier revisions miscounted
+        this as ``n``, so 2- and 4-ring scenarios calibrated offered load
+        against the wrong capacity — see EXPERIMENTS.md).  Topologies that
+        are not pairwise meshes pass their aggregate backbone capacity in
+        ``backbone_capacity`` (see ``NetworkTopology.backbone_capacity``),
+        which replaces ``n_links * C`` outright.
         """
         if not (0.0 < utilization):
             raise ConfigurationError("utilization must be positive")
-        if network is None:
-            network = NetworkConfig()
         rho = self.workload.mean_rate
         mu = 1.0 / self.mean_lifetime
-        n_links = max(1, network.n_rings)
+        if backbone_capacity is not None:
+            if backbone_capacity <= 0:
+                raise ConfigurationError("backbone capacity must be positive")
+            return utilization * mu * backbone_capacity / rho * self.load_scale
+        if network is None:
+            network = NetworkConfig()
+        n_links = max(1, network.n_rings * (network.n_rings - 1) // 2)
         rate = utilization * n_links * mu * network.atm_link_rate / rho
         return rate * self.load_scale
 

@@ -11,6 +11,24 @@ synchronous-bandwidth allocations, the engine:
    the port entrance (feed-forward order, discovered by a worklist);
 3. sums per-stage worst-case delays into the end-to-end bound of Eq. (7).
 
+Topologies whose shared-port dependency graph is *not* feed-forward (e.g.
+a unidirectional ring of switches) leave the worklist with stuck
+connections; those are handed to a monotone fixed-point iteration in the
+style of Amari & Mifdaoui: starting from zero, the per-port quantized
+output shifts are iterated — each round re-propagates every stuck
+connection's envelope through its remaining chain under the assumed
+shifts, then recomputes every unresolved port's delay from the collected
+entrance envelopes — until the shift vector repeats exactly.  Because the
+shift map is monotone non-decreasing on the ``output_delay_quantum``
+lattice, exact repetition is the convergence criterion (with a zero
+quantum the test degrades to a relative tolerance,
+``fixed_point_rtol``).  Non-convergence within
+``fixed_point_max_iterations`` raises
+:class:`~repro.errors.FixedPointDivergenceError` — the cycle admits no
+stable bound at this load, which admission control treats as infeasible.
+Feed-forward topologies never enter the iteration, so their results are
+byte-identical to the plain worklist.
+
 Any stage may raise :class:`UnstableSystemError` or
 :class:`BufferOverflowError`; callers (the CAC) treat these as "worst-case
 delay is infinite" — automatic infeasibility.
@@ -24,7 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import AnalysisConfig, NetworkConfig
 from repro.envelopes.curve import Curve
-from repro.errors import CyclicDependencyError
+from repro.errors import CyclicDependencyError, FixedPointDivergenceError
 from repro.fddi.mac_server import FDDIMacServer
 from repro.interface_device.cell_frame import CellFrameConversionServer
 from repro.interface_device.frame_cell import FrameCellConversionServer
@@ -565,9 +583,10 @@ class DelayAnalyzer:
     def compute(self, loads: Sequence[ConnectionLoad]) -> Dict[str, DelayReport]:
         """Worst-case end-to-end delay of every connection in ``loads``.
 
-        Raises the analysis errors of the individual servers, or
-        :class:`CyclicDependencyError` when the shared-port dependency graph
-        is not feed-forward.
+        Raises the analysis errors of the individual servers;
+        non-feed-forward shared-port graphs go through the fixed-point
+        iteration, which raises :class:`FixedPointDivergenceError` when no
+        stable bound exists within the configured iteration cap.
         """
         reports, _ = self.compute_with_resources(loads)
         return reports
@@ -623,6 +642,10 @@ class DelayAnalyzer:
 
         for st in states:
             _land(st)
+        if self.analysis.force_fixed_point:
+            # Test knob: leave every port to the fixed-point solver so its
+            # results can be asserted bit-identical to the worklist's.
+            ready.clear()
         while ready:
             port_name = ready.pop()
             group = traversers[port_name]
@@ -646,10 +669,10 @@ class DelayAnalyzer:
             for g in group:
                 _land(g)
         if remaining:
-            stuck = [st.load.spec.conn_id for st in states if st.idx < len(st.stages)]
-            raise CyclicDependencyError(
-                "shared-port dependencies are not feed-forward; stuck "
-                f"connections: {stuck}"
+            # Not feed-forward (or force_fixed_point): the stuck
+            # connections' remaining ports form cyclic mutual dependencies.
+            self._solve_fixed_point(
+                states, port_backlogs, port_busy, port_delays, port_inputs
             )
 
         reports = {
@@ -670,6 +693,126 @@ class DelayAnalyzer:
         )
         return reports, usage
 
+    # ------------------------------------------------------------------
+    # Cyclic interference: monotone fixed-point iteration
+    # ------------------------------------------------------------------
+
+    def _port_output(self, envelope: Curve, rate: float, shift: float) -> Curve:
+        """A member's envelope after a shared port, given the port's shift.
+
+        Must stay the exact expression :meth:`_analyze_port_cached` uses for
+        worklist-resolved ports, so fixed-point results on feed-forward
+        topologies are bit-identical to the chain analysis.
+        """
+        return self._tidy(envelope.shift_left(shift).minimum(Curve.affine(0.0, rate)))
+
+    def _solve_fixed_point(
+        self,
+        states: List["_ConnState"],
+        port_backlogs: Dict[str, float],
+        port_busy: Dict[str, float],
+        port_delays: Dict[str, float],
+        port_inputs: Dict[str, Dict[str, Curve]],
+    ) -> None:
+        """Resolve the stuck connections' ports by fixed-point iteration.
+
+        Every stuck connection is parked at a shared port the worklist could
+        not order; every port at or after a stuck connection's position is
+        necessarily unresolved (a port is analyzed only when *all* its
+        traversers land, so none of its traversers can have passed it).  The
+        iteration assumes a quantized output shift per unresolved port
+        (starting at zero, the optimistic floor), re-propagates each stuck
+        envelope through its remaining chain under those shifts, recomputes
+        every port's delay from the collected entrance envelopes, and
+        repeats until the shift vector is exactly the one it assumed —
+        self-consistency on the ``output_delay_quantum`` lattice.  The
+        shift map is monotone non-decreasing (larger shifts produce
+        pointwise-larger envelopes, hence larger delays), so the iterates
+        climb the lattice and either repeat (converged) or exceed the
+        iteration cap (:class:`FixedPointDivergenceError`; no stable bound).
+        """
+        stuck = [st for st in states if st.idx < len(st.stages)]
+        ports: Dict[str, OutputPortServer] = {}
+        for st in stuck:
+            for stage in st.stages[st.idx :]:
+                if isinstance(stage, SharedStage):
+                    ports[stage.name] = stage.port
+        if not ports:
+            raise CyclicDependencyError(
+                "stuck connections with no unresolved shared port: "
+                f"{sorted(st.load.spec.conn_id for st in stuck)}"
+            )
+        quantum = self.analysis.output_delay_quantum
+        shifts: Dict[str, float] = {name: 0.0 for name in ports}
+        results: Dict[str, Tuple[float, float, float]] = {}
+        inputs: Dict[str, Dict[str, Curve]] = {}
+        for _ in range(self.analysis.fixed_point_max_iterations):
+            inputs = {name: {} for name in ports}
+            for st in stuck:
+                walker = _ConnState(
+                    load=st.load,
+                    stages=st.stages,
+                    runs=st.runs,
+                    envelope=st.envelope,
+                    idx=st.idx,
+                )
+                while walker.idx < len(walker.stages):
+                    stage = walker.stages[walker.idx]
+                    if isinstance(stage, DedicatedStage):
+                        self._advance_dedicated(walker)
+                    else:
+                        inputs[stage.name][st.load.spec.conn_id] = walker.envelope
+                        walker.envelope = self._port_output(
+                            walker.envelope,
+                            stage.port.service_rate,
+                            shifts[stage.name],
+                        )
+                        walker.idx += 1
+            new_shifts: Dict[str, float] = {}
+            for name in sorted(ports):
+                delay, backlog, busy, shift = _analyze_port(
+                    ports[name],
+                    inputs[name],
+                    delay_quantum=quantum,
+                    coarsen_segments=self.analysis.coarsen_segments,
+                )
+                results[name] = (delay, backlog, busy)
+                new_shifts[name] = shift
+            converged = _shifts_converged(
+                shifts, new_shifts, quantum, self.analysis.fixed_point_rtol
+            )
+            shifts = new_shifts
+            if converged:
+                break
+        else:
+            raise FixedPointDivergenceError(
+                "cyclic-interference fixed point did not converge within "
+                f"{self.analysis.fixed_point_max_iterations} iterations over "
+                f"ports {sorted(ports)}"
+            )
+        # Shifts are self-consistent: the last round's inputs were produced
+        # under exactly the shifts the ports' analyses returned.  Replay the
+        # converged propagation into the real states and the usage maps.
+        for st in stuck:
+            while st.idx < len(st.stages):
+                stage = st.stages[st.idx]
+                if isinstance(stage, DedicatedStage):
+                    self._advance_dedicated(st)
+                else:
+                    delay, _, _ = results[stage.name]
+                    st.total += delay
+                    st.hops.append((stage.name, delay))
+                    st.envelope = self._port_output(
+                        st.envelope, stage.port.service_rate, shifts[stage.name]
+                    )
+                    st.idx += 1
+        for name in ports:
+            delay, backlog, busy = results[name]
+            port_delays[name] = delay
+            port_backlogs[name] = backlog
+            port_busy[name] = busy
+            port_inputs[name] = dict(inputs[name])
+
 
 @dataclasses.dataclass
 class _ConnState:
@@ -681,6 +824,28 @@ class _ConnState:
     total: float = 0.0
     hops: List[Tuple[str, float]] = dataclasses.field(default_factory=list)
     hop_backlogs: List[Tuple[str, float]] = dataclasses.field(default_factory=list)
+
+
+def _shifts_converged(
+    old: Dict[str, float],
+    new: Dict[str, float],
+    quantum: float,
+    rtol: float,
+) -> bool:
+    """The fixed-point convergence criterion.
+
+    With a positive ``output_delay_quantum`` both vectors live on the same
+    discrete lattice, so convergence is *exact repetition* — the map is
+    monotone non-decreasing, hence a repeat is the least fixed point above
+    the zero start.  With a zero quantum shifts are continuous and exact
+    repetition may never occur; a relative-change test stands in.
+    """
+    if quantum > 0:
+        return all(new[name] == old[name] for name in new)
+    return all(
+        abs(new[name] - old[name]) <= rtol * max(abs(new[name]), 1e-30)
+        for name in new
+    )
 
 
 def _analyze_port(

@@ -61,10 +61,24 @@ class AdmissionError(ReproError):
 class CyclicDependencyError(ReproError):
     """The per-port envelope propagation graph is not feed-forward.
 
-    The decomposition analysis of Section 4 requires that traffic envelopes
-    can be propagated server-by-server in topological order.  Routes that
-    create a cyclic mutual dependency between shared servers are outside the
-    model and are rejected explicitly rather than analyzed incorrectly.
+    The decomposition analysis of Section 4 propagates traffic envelopes
+    server-by-server in topological order; routes that create a cyclic
+    mutual dependency between shared servers fall back to the monotone
+    fixed-point iteration (see :mod:`repro.core.delay`).  This error is
+    reserved for internal consistency failures of the feed-forward
+    worklist itself (a stuck connection with no unresolved shared port).
+    """
+
+
+class FixedPointDivergenceError(UnstableSystemError):
+    """The cyclic-interference fixed-point iteration failed to converge.
+
+    The per-port shift map is monotone and non-decreasing on the quantized
+    delay lattice, so divergence means the iterates climbed past the
+    configured ``fixed_point_max_iterations`` cap — the cyclic dependency
+    admits no stable bound at this load.  Subclasses
+    :class:`UnstableSystemError`, so admission control treats it as an
+    automatic rejection.
     """
 
 

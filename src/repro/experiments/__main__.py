@@ -7,7 +7,14 @@ import dataclasses
 import sys
 import time
 
-from repro.experiments import ablations, figure7, figure8, survivability, validation
+from repro.experiments import (
+    ablations,
+    figure7,
+    figure8,
+    multihop,
+    survivability,
+    validation,
+)
 from repro.experiments.common import ExperimentSettings
 
 
@@ -40,6 +47,7 @@ def main(argv=None) -> int:
             "ablation-policies",
             "ablation-workload",
             "survivability",
+            "multihop",
             "all",
         ],
     )
@@ -85,6 +93,9 @@ def main(argv=None) -> int:
         "ablation-policies": lambda: ablations.main_policies(settings, jobs=jobs),
         "ablation-workload": lambda: ablations.main_workload(settings, jobs=jobs),
         "survivability": lambda: survivability.main(
+            settings, csv_dir=args.csv, jobs=jobs
+        ),
+        "multihop": lambda: multihop.main(
             settings, csv_dir=args.csv, jobs=jobs
         ),
     }

@@ -40,6 +40,9 @@ class NetworkTopology:
     def __init__(self) -> None:
         self.rings: Dict[str, FDDIRing] = {}
         self.hosts: Dict[str, Host] = {}
+        #: ring_id -> hosts in attachment order (kept by add_host so
+        #: hosts_on_ring is O(ring population), not O(all hosts)).
+        self._ring_hosts: Dict[str, List[Host]] = {}
         self.switches: Dict[str, AtmSwitch] = {}
         self.devices: Dict[str, InterfaceDevice] = {}
         #: ring_id -> device_id (exactly one bridge per ring).
@@ -68,6 +71,7 @@ class NetworkTopology:
         if ring.ring_id in self.rings:
             raise TopologyError(f"ring {ring.ring_id!r} already exists")
         self.rings[ring.ring_id] = ring
+        self._ring_hosts[ring.ring_id] = []
         self.change_count += 1
         return ring
 
@@ -78,6 +82,7 @@ class NetworkTopology:
             raise TopologyError(f"unknown ring {ring_id!r}")
         host = Host(host_id, ring_id)
         self.hosts[host_id] = host
+        self._ring_hosts[ring_id].append(host)
         self.change_count += 1
         return host
 
@@ -138,13 +143,19 @@ class NetworkTopology:
         propagation_delay: float = 0.0,
         bidirectional: bool = True,
     ) -> None:
-        """Create the directed link(s) between two backbone switches."""
+        """Create the directed link(s) between two backbone switches.
+
+        Transactional: every direction is validated before any state is
+        touched, so a duplicate second direction cannot leave the first
+        half-attached (port created, ``change_count`` bumped, edge added).
+        """
         pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
         for src, dst in pairs:
             if src not in self.switches or dst not in self.switches:
                 raise TopologyError(f"unknown switch in pair ({src!r}, {dst!r})")
             if (src, dst) in self._switch_links:
                 raise TopologyError(f"link {src}->{dst} already exists")
+        for src, dst in pairs:
             link = AtmLink(
                 f"{src}->{dst}", rate=rate, propagation_delay=propagation_delay
             )
@@ -308,7 +319,28 @@ class NetworkTopology:
             ) from None
 
     def hosts_on_ring(self, ring_id: str) -> List[Host]:
-        return [h for h in self.hosts.values() if h.ring_id == ring_id]
+        if ring_id not in self.rings:
+            return []
+        return list(self._ring_hosts[ring_id])
+
+    def backbone_capacity(self) -> float:
+        """Aggregate undirected backbone capacity, bits/second.
+
+        Each bidirectional switch pair counts once (directed link rates
+        averaged, so asymmetric-rate pairs still contribute their mean).
+        Single-switch topologies have no inter-switch links; there the
+        shared backbone resources are the device uplinks, each crossed by
+        one side of a connection, so half the aggregate uplink rate stands
+        in.
+        """
+        undirected: Dict[frozenset, List[float]] = {}
+        for (src, dst), link in self._switch_links.items():
+            undirected.setdefault(frozenset((src, dst)), []).append(link.rate)
+        total = sum(sum(rates) / len(rates) for rates in undirected.values())
+        if total > 0.0:
+            return total
+        uplinks = sum(d.uplink.rate for d in self.devices.values())
+        return uplinks / 2.0
 
     def validate(self) -> None:
         """Check structural completeness (every ring bridged, backbone connected)."""

@@ -50,6 +50,13 @@ from repro.scenario.spec import (
     PacketRunSpec,
     ScenarioSpec,
 )
+from repro.topo.spec import (
+    BackboneLinkSpec,
+    DeviceSpec,
+    RingSpec,
+    SwitchSpec,
+    TopologySpec,
+)
 from repro.traffic.generators import WorkloadSpec
 
 _T = TypeVar("_T")
@@ -266,6 +273,42 @@ class _ArrivalsScalars:
     count_host_blocked: bool = False
 
 
+_TOPO_SECTIONS: Tuple[Tuple[str, type], ...] = (
+    ("rings", RingSpec),
+    ("switches", SwitchSpec),
+    ("devices", DeviceSpec),
+    ("links", BackboneLinkSpec),
+)
+
+
+def _topo_to_dict(topo: TopologySpec) -> Dict[str, Any]:
+    return {
+        key: [_flat_to_dict(entry) for entry in getattr(topo, key)]
+        for key, _ in _TOPO_SECTIONS
+    }
+
+
+def _dict_to_topo(payload: Any, what: str) -> TopologySpec:
+    if not isinstance(payload, Mapping):
+        raise ScenarioSpecError(f"{what}: expected an object, got {payload!r}")
+    _reject_unknown(payload, tuple(k for k, _ in _TOPO_SECTIONS), what)
+    kwargs: Dict[str, Any] = {}
+    for key, cls in _TOPO_SECTIONS:
+        raw = payload.get(key, [])
+        if not isinstance(raw, list):
+            raise ScenarioSpecError(f"{what}.{key}: expected a list")
+        kwargs[key] = tuple(
+            _flat_from_dict(cls, entry, f"{what}.{key}[{i}]")
+            for i, entry in enumerate(raw)
+        )
+    try:
+        return TopologySpec(**kwargs)
+    except ScenarioSpecError:
+        raise
+    except Exception as exc:
+        raise ScenarioSpecError(f"{what}: {exc}") from None
+
+
 def _faults_to_dict(plan: FaultPlan) -> Dict[str, Any]:
     return {
         "config": None if plan.config is None else _flat_to_dict(plan.config),
@@ -309,6 +352,7 @@ _TOP_LEVEL = (
     "format",
     "name",
     "topology",
+    "topo",
     "cac",
     "arrivals",
     "connections",
@@ -323,6 +367,7 @@ def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
         "format": FORMAT_VERSION,
         "name": spec.name,
         "topology": _flat_to_dict(spec.topology),
+        "topo": None if spec.topo is None else _topo_to_dict(spec.topo),
         "cac": _flat_to_dict(spec.cac),
         "arrivals": (
             None if spec.arrivals is None else _arrivals_to_dict(spec.arrivals)
@@ -347,6 +392,7 @@ def dict_to_spec(payload: Any) -> ScenarioSpec:
     if "name" not in payload:
         raise ScenarioSpecError("scenario: missing required field 'name'")
     arrivals_payload = payload.get("arrivals")
+    topo_payload = payload.get("topo")
     faults_payload = payload.get("faults")
     connections_payload = payload.get("connections", [])
     if not isinstance(connections_payload, list):
@@ -356,6 +402,11 @@ def dict_to_spec(payload: Any) -> ScenarioSpec:
             name=_coerce(payload["name"], str, "scenario.name"),
             topology=_flat_from_dict(
                 NetworkConfig, payload.get("topology", {}), "scenario.topology"
+            ),
+            topo=(
+                None
+                if topo_payload is None
+                else _dict_to_topo(topo_payload, "scenario.topo")
             ),
             cac=_flat_from_dict(
                 AnalysisKnobs, payload.get("cac", {}), "scenario.cac"

@@ -42,6 +42,8 @@ from repro.scenario.spec import (
     PacketRunSpec,
     ScenarioSpec,
 )
+from repro.topo import generators as topo_generators
+from repro.topo.spec import TopologySpec
 from repro.traffic.cbr import CBRTraffic
 from repro.traffic.descriptor import TrafficDescriptor
 from repro.traffic.dual_periodic import DualPeriodicTraffic
@@ -105,23 +107,76 @@ def _random_traffic(rng: random.Random) -> TrafficDescriptor:
     )
 
 
+def _random_topo(
+    rng: random.Random,
+) -> Tuple[Optional[TopologySpec], int, int]:
+    """Sample a structural family; returns (topo, n_rings, hosts_per_ring).
+
+    ``None`` keeps the reference pairwise mesh built from the scalar
+    config (the pre-topo behaviour); the other families exercise
+    multi-hop routes and — for unidirectional switch rings — genuinely
+    cyclic port interference (the fixed-point regime).  Every family's
+    hosts follow the ``host<i>-<j>`` naming, so explicit connections are
+    addressed identically everywhere.
+    """
+    hosts = rng.randint(2, 3)
+    kind = rng.randrange(6)
+    if kind == 0:
+        # Reference mesh; the old 4-ring cap is lifted to 6 (15 backbone
+        # links — the regime the n(n-1)/2 calibration fix matters for).
+        return None, rng.randint(2, 6), hosts
+    if kind == 1:
+        n = rng.randint(2, 10)
+        return topo_generators.line(n, hosts), n, hosts
+    if kind == 2:
+        n = rng.randint(3, 10)
+        return (
+            topo_generators.ring_of_switches(
+                n, hosts, unidirectional=rng.random() < 0.5
+            ),
+            n,
+            hosts,
+        )
+    if kind == 3:
+        n = rng.randint(2, 8)
+        return topo_generators.star(n, hosts), n, hosts
+    if kind == 4:
+        n = rng.randint(4, 10)
+        return (
+            topo_generators.partial_mesh(
+                n, hosts, chord_stride=rng.randint(2, 4)
+            ),
+            n,
+            hosts,
+        )
+    n_switches = rng.randint(1, 4)
+    rings_per_switch = rng.randint(2, 3)
+    return (
+        topo_generators.multi_ring_per_switch(
+            n_switches, rings_per_switch, hosts
+        ),
+        n_switches * rings_per_switch,
+        hosts,
+    )
+
+
 def _random_connections(
-    rng: random.Random, topology: NetworkConfig
+    rng: random.Random, n_rings: int, hosts_per_ring: int
 ) -> Tuple[ConnectionEntry, ...]:
     """0-4 explicit cross-ring connections on distinct source hosts."""
     n = rng.randint(1, 4)
     entries: List[ConnectionEntry] = []
     used_sources = set()
     for k in range(n):
-        src_ring = rng.randint(1, topology.n_rings)
+        src_ring = rng.randint(1, n_rings)
         dst_ring = rng.choice(
-            [r for r in range(1, topology.n_rings + 1) if r != src_ring]
+            [r for r in range(1, n_rings + 1) if r != src_ring]
         )
-        source = f"host{src_ring}-{rng.randint(1, topology.hosts_per_ring)}"
+        source = f"host{src_ring}-{rng.randint(1, hosts_per_ring)}"
         if source in used_sources:
             continue
         used_sources.add(source)
-        dest = f"host{dst_ring}-{rng.randint(1, topology.hosts_per_ring)}"
+        dest = f"host{dst_ring}-{rng.randint(1, hosts_per_ring)}"
         entries.append(
             ConnectionEntry(
                 conn_id=f"fz-{k}",
@@ -182,9 +237,10 @@ def generate_spec(seed: int, name: Optional[str] = None) -> ScenarioSpec:
     drift.
     """
     rng = random.Random(seed)
+    topo, n_rings, hosts_per_ring = _random_topo(rng)
     topology = NetworkConfig(
-        n_rings=rng.randint(2, 4),
-        hosts_per_ring=rng.randint(2, 4),
+        n_rings=n_rings,
+        hosts_per_ring=hosts_per_ring,
         ttrt=rng.choice([0.004, 0.008, 0.016]),
     )
     knobs = AnalysisKnobs(
@@ -213,13 +269,20 @@ def generate_spec(seed: int, name: Optional[str] = None) -> ScenarioSpec:
 
     connections: Tuple[ConnectionEntry, ...] = ()
     if want_explicit:
-        connections = _random_connections(rng, topology)
+        connections = _random_connections(rng, n_rings, hosts_per_ring)
         if not connections and arrivals is None:
             # All candidate sources collided: fall back to a workload.
             arrivals = ArrivalsSpec(utilization=0.2, n_requests=10)
 
     faults: Optional[FaultPlan] = None
-    if arrivals is not None and not connections and rng.random() < 0.35:
+    if (
+        topo is None
+        and arrivals is not None
+        and not connections
+        and rng.random() < 0.35
+    ):
+        # Fault scripts name the reference mesh's pairwise links; the
+        # structural families keep their fault coverage via the mesh arm.
         plan = _random_faults(rng, arrivals, topology)
         if plan.any_enabled:
             faults = plan
@@ -231,6 +294,7 @@ def generate_spec(seed: int, name: Optional[str] = None) -> ScenarioSpec:
     return ScenarioSpec(
         name=name or f"fuzz-{seed}",
         topology=topology,
+        topo=topo,
         cac=knobs,
         arrivals=arrivals,
         connections=connections,

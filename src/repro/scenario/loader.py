@@ -47,7 +47,13 @@ _RequestFn = Callable[[ConnectionSpec], AdmissionResult]
 
 
 def build_topology(spec: ScenarioSpec) -> NetworkTopology:
-    """The spec's network, freshly built (never shared between runs)."""
+    """The spec's network, freshly built (never shared between runs).
+
+    A declarative ``topo`` takes precedence over the reference mesh; the
+    scalar ``topology`` config then supplies only default parameters.
+    """
+    if spec.topo is not None:
+        return spec.topo.build(spec.topology)
     return build_network(spec.topology)
 
 
@@ -83,6 +89,7 @@ def connection_sim_config(spec: ScenarioSpec) -> ConnectionSimConfig:
         n_requests=arrivals.n_requests,
         warmup_requests=arrivals.warmup_requests,
         network=spec.topology,
+        topo=spec.topo,
         simulation=arrivals.simulation_config(),
         cac=cac_config(spec),
         faults=None if plan is None else plan.config,

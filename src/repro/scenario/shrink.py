@@ -10,10 +10,12 @@ invariants.  The passes run in a fixed order until a fixed point:
    toward 0;
 3. **faults** — drop the fault plan, ddmin the scripted events, drop the
    stochastic processes / retry policy;
-4. **topology** — fewer rings, fewer hosts per ring (candidates that
-   orphan a referenced host are skipped);
-5. **packet** — shorter validation horizon;
-6. **numbers** — round every float knob to the fewest significant digits
+4. **topo** — replace a declarative structural topology with the plain
+   reference mesh when the failure reproduces there too;
+5. **topology** — fewer rings, fewer hosts per ring (candidates that
+   orphan a referenced host are skipped; mesh-shaped specs only);
+6. **packet** — shorter validation horizon;
+7. **numbers** — round every float knob to the fewest significant digits
    that still reproduce the failure.
 
 Everything is deterministic: the same failing spec and predicate always
@@ -146,7 +148,25 @@ class _Shrinker:
                 spec = candidate
         return spec
 
+    def pass_topo(self, spec: ScenarioSpec) -> ScenarioSpec:
+        """Try replacing a declarative topology with the reference mesh.
+
+        A failure that reproduces on the plain pairwise mesh (same ring
+        count, from the scalar config) is a much simpler reproducer than
+        any structural family.
+        """
+        if spec.topo is None:
+            return spec
+        candidate = dataclasses.replace(spec, topo=None)
+        if self.still_fails(candidate):
+            return candidate
+        return spec
+
     def pass_topology(self, spec: ScenarioSpec) -> ScenarioSpec:
+        if spec.topo is not None:
+            # Shape is governed by the declarative spec, not the scalar
+            # ring counters; shrinking those would be cosmetic.
+            return spec
         min_rings, min_hosts = _referenced_floor(spec)
         topo = spec.topology
         for rings in range(max(2, min_rings), topo.n_rings):
@@ -302,6 +322,7 @@ def shrink_spec(
         spec = shrinker.pass_connections(spec)
         spec = shrinker.pass_workload(spec)
         spec = shrinker.pass_faults(spec)
+        spec = shrinker.pass_topo(spec)
         spec = shrinker.pass_topology(spec)
         spec = shrinker.pass_packet(spec)
         spec = shrinker.pass_numbers(spec)

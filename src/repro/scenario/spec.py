@@ -28,7 +28,8 @@ import dataclasses
 from typing import Optional, Sequence, Tuple
 
 from repro.config import NetworkConfig, SimulationConfig
-from repro.errors import ScenarioSpecError
+from repro.errors import ScenarioSpecError, TopologyError
+from repro.topo.spec import TopologySpec
 from repro.faults.injector import FaultConfig, FaultScript, ScriptedFault
 from repro.faults.retry import RetryPolicy
 from repro.traffic.descriptor import TrafficDescriptor
@@ -175,6 +176,13 @@ class ScenarioSpec:
 
     name: str
     topology: NetworkConfig = dataclasses.field(default_factory=NetworkConfig)
+    #: Declarative structural topology (:mod:`repro.topo`).  ``None`` runs
+    #: the reference pairwise mesh built from ``topology``; when set, the
+    #: spec is lowered via ``topo.build(topology)`` (``topology`` then
+    #: supplies only the shared default parameters — rates, latencies,
+    #: TTRT — not the shape) and offered load is calibrated against the
+    #: built network's aggregate backbone capacity.
+    topo: Optional[TopologySpec] = None
     cac: AnalysisKnobs = dataclasses.field(default_factory=AnalysisKnobs)
     arrivals: Optional[ArrivalsSpec] = None
     connections: Tuple[ConnectionEntry, ...] = ()
@@ -184,6 +192,11 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ScenarioSpecError("scenario name must be non-empty")
+        if self.topo is not None:
+            try:
+                self.topo.validate()
+            except TopologyError as exc:
+                raise ScenarioSpecError(f"topo: {exc}") from None
         if self.arrivals is None and not self.connections:
             raise ScenarioSpecError(
                 "a scenario needs arrivals, connections, or both"

@@ -26,6 +26,7 @@ from repro.network.connection import ConnectionSpec
 from repro.sim.engine import Simulator
 from repro.sim.metrics import SimulationMetrics, SurvivabilityMetrics
 from repro.sim.random import RandomStreams
+from repro.topo.spec import TopologySpec
 from repro.traffic.generators import WorkloadGenerator
 
 if TYPE_CHECKING:  # imported lazily at runtime (repro.faults imports repro.sim)
@@ -46,6 +47,11 @@ class ConnectionSimConfig:
     #: Warm-up requests excluded from the AP estimate.
     warmup_requests: int = 40
     network: NetworkConfig = dataclasses.field(default_factory=NetworkConfig)
+    #: Declarative structural topology (None = the reference pairwise mesh
+    #: built from ``network``).  When set, ``network`` supplies only the
+    #: default parameters and the offered-load calibration uses the built
+    #: topology's aggregate backbone capacity instead of the mesh formula.
+    topo: Optional[TopologySpec] = None
     simulation: SimulationConfig = dataclasses.field(default_factory=SimulationConfig)
     cac: Optional[CACConfig] = None
     #: Stochastic fault processes (None/disabled = the fault-free paper run).
@@ -94,7 +100,10 @@ class ConnectionSimulator:
         workload_generator=None,
     ) -> None:
         self.config = config
-        self.topology = build_network(config.network)
+        if config.topo is not None:
+            self.topology = config.topo.build(config.network)
+        else:
+            self.topology = build_network(config.network)
         self.cac = AdmissionController(
             self.topology,
             network_config=config.network,
@@ -113,7 +122,13 @@ class ConnectionSimulator:
         self.sim = Simulator()
         self.metrics = SimulationMetrics()
         self.arrival_rate = config.simulation.arrival_rate_for_utilization(
-            config.utilization, config.network
+            config.utilization,
+            config.network,
+            backbone_capacity=(
+                None
+                if config.topo is None
+                else self.topology.backbone_capacity()
+            ),
         )
         self._active_hosts: set = set()
         self._counter = 0

@@ -1,0 +1,26 @@
+"""Declarative topology specs and generator families.
+
+:class:`TopologySpec` describes any FDDI-ATM-FDDI network — typed
+ring/switch/device entries, explicit ring -> switch attachment, arbitrary
+backbone edge lists — and lowers to a live
+:class:`~repro.network.topology.NetworkTopology` via :meth:`TopologySpec.build`.
+:mod:`repro.topo.generators` provides the named structural families
+(paper-triangle, line, ring-of-switches, star, partial mesh,
+multi-ring-per-switch) the fuzz and experiment layers sample.
+"""
+
+from repro.topo.spec import (
+    BackboneLinkSpec,
+    DeviceSpec,
+    RingSpec,
+    SwitchSpec,
+    TopologySpec,
+)
+
+__all__ = [
+    "BackboneLinkSpec",
+    "DeviceSpec",
+    "RingSpec",
+    "SwitchSpec",
+    "TopologySpec",
+]

@@ -1,0 +1,232 @@
+"""Generator families over :class:`~repro.topo.spec.TopologySpec`.
+
+Each generator emits a fully-validated spec for one structural family.
+Naming follows the reference mesh (``ring<i>``, ``host<i>-<j>``,
+``id<i>``, ``s<i>``) so hosts generated here are addressable by the same
+conventions the fuzz and shrink machinery already uses.  All generators
+are pure functions of their arguments — no randomness — so fuzz seeds
+stay the single source of nondeterminism.
+
+Families and the analysis regimes they exercise:
+
+``paper_triangle``
+    The Figure-1 reference network (pairwise mesh); one backbone hop.
+``line``
+    Switches in a chain; routes cross up to ``n - 1`` backbone hops but
+    the port-dependency graph stays feed-forward.
+``ring_of_switches``
+    Switches in a cycle.  Bidirectional cycles stay feed-forward per
+    shortest-path routing; the unidirectional variant forces every
+    route the long way round and creates genuinely cyclic port
+    interference — the fixed-point regime.
+``star``
+    All rings' switches uplink into one hub; two hops everywhere, heavy
+    sharing on hub ports.
+``partial_mesh``
+    A cycle plus deterministic chords; mixed hop counts.
+``multi_ring_per_switch``
+    Several rings bridged into each switch; exercises same-switch
+    cross-ring routes with an empty backbone path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.topo.spec import (
+    BackboneLinkSpec,
+    DeviceSpec,
+    RingSpec,
+    SwitchSpec,
+    TopologySpec,
+)
+
+
+def _rings(n: int, hosts_per_ring: int) -> Tuple[RingSpec, ...]:
+    return tuple(
+        RingSpec(
+            ring_id=f"ring{i}",
+            n_hosts=hosts_per_ring,
+            host_prefix=f"host{i}-",
+        )
+        for i in range(1, n + 1)
+    )
+
+
+def _one_switch_per_ring(
+    n: int,
+) -> Tuple[Tuple[SwitchSpec, ...], Tuple[DeviceSpec, ...]]:
+    switches = tuple(SwitchSpec(f"s{i}") for i in range(1, n + 1))
+    devices = tuple(
+        DeviceSpec(device_id=f"id{i}", ring_id=f"ring{i}", switch_id=f"s{i}")
+        for i in range(1, n + 1)
+    )
+    return switches, devices
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise TopologyError(message)
+
+
+def paper_triangle(
+    n_rings: int = 3, hosts_per_ring: int = 4
+) -> TopologySpec:
+    """The reference pairwise mesh (Figure 1 for ``n_rings = 3``)."""
+    _require(n_rings >= 1, "paper_triangle needs at least 1 ring")
+    switches, devices = _one_switch_per_ring(n_rings)
+    links = tuple(
+        BackboneLinkSpec(f"s{i}", f"s{j}")
+        for i in range(1, n_rings + 1)
+        for j in range(i + 1, n_rings + 1)
+    )
+    spec = TopologySpec(
+        rings=_rings(n_rings, hosts_per_ring),
+        switches=switches,
+        devices=devices,
+        links=links,
+    )
+    spec.validate()
+    return spec
+
+
+def line(n_rings: int, hosts_per_ring: int = 2) -> TopologySpec:
+    """Switches in a chain: ``s1 - s2 - ... - sN`` (multi-hop, acyclic)."""
+    _require(n_rings >= 2, "line needs at least 2 rings")
+    switches, devices = _one_switch_per_ring(n_rings)
+    links = tuple(
+        BackboneLinkSpec(f"s{i}", f"s{i + 1}") for i in range(1, n_rings)
+    )
+    spec = TopologySpec(
+        rings=_rings(n_rings, hosts_per_ring),
+        switches=switches,
+        devices=devices,
+        links=links,
+    )
+    spec.validate()
+    return spec
+
+
+def ring_of_switches(
+    n_rings: int, hosts_per_ring: int = 2, unidirectional: bool = False
+) -> TopologySpec:
+    """Switches in a cycle; ``unidirectional`` forces cyclic interference."""
+    _require(n_rings >= 3, "ring_of_switches needs at least 3 rings")
+    switches, devices = _one_switch_per_ring(n_rings)
+    links = tuple(
+        BackboneLinkSpec(
+            f"s{i}",
+            f"s{i % n_rings + 1}",
+            bidirectional=not unidirectional,
+        )
+        for i in range(1, n_rings + 1)
+    )
+    spec = TopologySpec(
+        rings=_rings(n_rings, hosts_per_ring),
+        switches=switches,
+        devices=devices,
+        links=links,
+    )
+    spec.validate()
+    return spec
+
+
+def star(n_rings: int, hosts_per_ring: int = 2) -> TopologySpec:
+    """Every ring's switch uplinks into one hub switch ``hub``."""
+    _require(n_rings >= 2, "star needs at least 2 rings")
+    leaf_switches, devices = _one_switch_per_ring(n_rings)
+    switches = leaf_switches + (SwitchSpec("hub"),)
+    links = tuple(
+        BackboneLinkSpec(f"s{i}", "hub") for i in range(1, n_rings + 1)
+    )
+    spec = TopologySpec(
+        rings=_rings(n_rings, hosts_per_ring),
+        switches=switches,
+        devices=devices,
+        links=links,
+    )
+    spec.validate()
+    return spec
+
+
+def partial_mesh(
+    n_rings: int, hosts_per_ring: int = 2, chord_stride: int = 2
+) -> TopologySpec:
+    """A bidirectional cycle plus deterministic chords ``s_i - s_{i+k}``.
+
+    ``chord_stride`` is ``k``; strides that would duplicate a cycle edge
+    or a chord's mirror are skipped, so the result is valid for every
+    ``k >= 2``.
+    """
+    _require(n_rings >= 4, "partial_mesh needs at least 4 rings")
+    _require(chord_stride >= 2, "chord_stride must be >= 2")
+    switches, devices = _one_switch_per_ring(n_rings)
+    seen: Set[FrozenSet[int]] = set()
+    links: List[BackboneLinkSpec] = []
+    for i in range(1, n_rings + 1):
+        j = i % n_rings + 1
+        key = frozenset((i, j))
+        if key not in seen:
+            seen.add(key)
+            links.append(BackboneLinkSpec(f"s{i}", f"s{j}"))
+    for i in range(1, n_rings + 1):
+        j = (i - 1 + chord_stride) % n_rings + 1
+        if i == j:
+            continue
+        key = frozenset((i, j))
+        if key not in seen:
+            seen.add(key)
+            links.append(BackboneLinkSpec(f"s{i}", f"s{j}"))
+    spec = TopologySpec(
+        rings=_rings(n_rings, hosts_per_ring),
+        switches=switches,
+        devices=devices,
+        links=tuple(links),
+    )
+    spec.validate()
+    return spec
+
+
+def multi_ring_per_switch(
+    n_switches: int, rings_per_switch: int = 2, hosts_per_ring: int = 2
+) -> TopologySpec:
+    """``rings_per_switch`` rings bridged into each of ``n_switches``
+    switches, switches joined in a chain (one switch = purely local
+    backbone)."""
+    _require(n_switches >= 1, "multi_ring_per_switch needs >= 1 switch")
+    _require(rings_per_switch >= 1, "need >= 1 ring per switch")
+    n_rings = n_switches * rings_per_switch
+    switches = tuple(SwitchSpec(f"s{k}") for k in range(1, n_switches + 1))
+    devices = tuple(
+        DeviceSpec(
+            device_id=f"id{i}",
+            ring_id=f"ring{i}",
+            switch_id=f"s{(i - 1) // rings_per_switch + 1}",
+        )
+        for i in range(1, n_rings + 1)
+    )
+    links = tuple(
+        BackboneLinkSpec(f"s{k}", f"s{k + 1}") for k in range(1, n_switches)
+    )
+    spec = TopologySpec(
+        rings=_rings(n_rings, hosts_per_ring),
+        switches=switches,
+        devices=devices,
+        links=links,
+    )
+    spec.validate()
+    return spec
+
+
+#: name -> (generator, small deterministic argument grid for fuzz/CI).
+#: Grid entries are (args, kwargs) pairs; the fuzz generator indexes this
+#: registry by seed, so the order is append-only.
+FAMILIES: Dict[str, Callable[..., TopologySpec]] = {
+    "paper_triangle": paper_triangle,
+    "line": line,
+    "ring_of_switches": ring_of_switches,
+    "star": star,
+    "partial_mesh": partial_mesh,
+    "multi_ring_per_switch": multi_ring_per_switch,
+}

@@ -1,0 +1,111 @@
+"""Regression tests for two construction bugs.
+
+1. ``connect_switches`` used to validate each direction *as it mutated*:
+   adding ``(a, b)`` before discovering ``(b, a)`` was a duplicate left the
+   topology half-connected — one dangling directed link, an attached output
+   port, a bumped ``change_count``, and a routing edge that ``validate()``
+   happily accepted.  The fix validates every direction before touching any
+   state.
+
+2. ``hosts_on_ring`` used to scan every host in the network on each call
+   (``O(all hosts)`` per lookup inside per-ring loops made population
+   queries quadratic).  ``add_host`` now maintains a ring -> hosts index.
+"""
+
+import pytest
+
+from repro.atm import AtmSwitch
+from repro.errors import TopologyError
+from repro.fddi import FDDIRing
+from repro.network import NetworkTopology
+from repro.units import MBIT
+
+
+def three_switches():
+    topo = NetworkTopology()
+    for i in (1, 2, 3):
+        topo.add_switch(AtmSwitch(f"s{i}"))
+    return topo
+
+
+class TestConnectSwitchesTransactional:
+    def test_duplicate_reverse_direction_leaves_no_partial_state(self):
+        # s1->s2 exists (unidirectional); connecting s2<->s1 must fail on
+        # the duplicate (s1, s2) direction WITHOUT first attaching (s2, s1).
+        topo = three_switches()
+        topo.connect_switches("s1", "s2", rate=155.52 * MBIT, bidirectional=False)
+        count_before = topo.change_count
+        ports_before = len(topo.switches["s2"].ports)
+        with pytest.raises(TopologyError, match="already exists"):
+            topo.connect_switches("s2", "s1", rate=155.52 * MBIT)
+        assert topo.change_count == count_before
+        assert len(topo.switches["s2"].ports) == ports_before
+        with pytest.raises(TopologyError):
+            topo.switch_link("s2", "s1")
+        assert not topo._backbone.has_edge("s2", "s1")
+
+    def test_unknown_second_endpoint_leaves_no_partial_state(self):
+        topo = three_switches()
+        count_before = topo.change_count
+        with pytest.raises(TopologyError, match="unknown switch"):
+            topo.connect_switches("s1", "nope", rate=155.52 * MBIT)
+        assert topo.change_count == count_before
+        assert len(topo.switches["s1"].ports) == 0
+
+    def test_failed_connect_can_be_retried_cleanly(self):
+        # The point of transactionality: after a rejected call the same
+        # link can still be created the right way round.
+        topo = three_switches()
+        topo.connect_switches("s1", "s2", rate=155.52 * MBIT, bidirectional=False)
+        with pytest.raises(TopologyError):
+            topo.connect_switches("s2", "s1", rate=155.52 * MBIT)
+        topo.connect_switches("s2", "s1", rate=155.52 * MBIT, bidirectional=False)
+        assert topo.switch_link("s2", "s1").rate == 155.52 * MBIT
+
+
+class TestHostsOnRingIndex:
+    def test_order_and_isolation(self):
+        topo = NetworkTopology()
+        topo.add_ring(FDDIRing("ring1", ttrt=0.008, bandwidth=100 * MBIT))
+        topo.add_ring(FDDIRing("ring2", ttrt=0.008, bandwidth=100 * MBIT))
+        for name in ("a", "b", "c"):
+            topo.add_host(name, "ring1")
+        topo.add_host("z", "ring2")
+        assert [h.host_id for h in topo.hosts_on_ring("ring1")] == ["a", "b", "c"]
+        assert [h.host_id for h in topo.hosts_on_ring("ring2")] == ["z"]
+
+    def test_unknown_ring_is_empty(self):
+        assert NetworkTopology().hosts_on_ring("ghost") == []
+
+    def test_returns_copy(self):
+        topo = NetworkTopology()
+        topo.add_ring(FDDIRing("ring1", ttrt=0.008, bandwidth=100 * MBIT))
+        topo.add_host("a", "ring1")
+        topo.hosts_on_ring("ring1").clear()
+        assert len(topo.hosts_on_ring("ring1")) == 1
+
+    def test_index_matches_full_scan(self):
+        topo = NetworkTopology()
+        for i in range(1, 6):
+            topo.add_ring(FDDIRing(f"ring{i}", ttrt=0.008, bandwidth=100 * MBIT))
+        for i in range(1, 6):
+            for j in range(1, 4):
+                topo.add_host(f"host{i}-{j}", f"ring{i}")
+        for i in range(1, 6):
+            scan = [h for h in topo.hosts.values() if h.ring_id == f"ring{i}"]
+            assert topo.hosts_on_ring(f"ring{i}") == scan
+
+
+class TestBackboneCapacity:
+    def test_counts_undirected_pairs_once(self):
+        topo = three_switches()
+        topo.connect_switches("s1", "s2", rate=100.0)
+        topo.connect_switches("s2", "s3", rate=200.0, bidirectional=False)
+        # s1<->s2 is one undirected pair (100), s2->s3 another (200).
+        assert topo.backbone_capacity() == pytest.approx(300.0)
+
+    def test_asymmetric_pair_contributes_mean(self):
+        topo = three_switches()
+        topo.connect_switches("s1", "s2", rate=100.0, bidirectional=False)
+        topo.connect_switches("s2", "s1", rate=300.0, bidirectional=False)
+        assert topo.backbone_capacity() == pytest.approx(200.0)

@@ -109,6 +109,44 @@ class TestSimulationConfig:
         mu = 1.0 / sim.mean_lifetime
         assert lam == pytest.approx(0.5 * 3 * mu * net.atm_link_rate / rho)
 
+    def test_link_count_is_pairwise_mesh(self):
+        # Regression: n_links was miscounted as n (rings) instead of the
+        # mesh's n(n-1)/2 backbone links.  Correct only by accident at
+        # n = 3; a 4-ring mesh has 6 links, a 2-ring mesh has 1.
+        sim = SimulationConfig()
+        rho = sim.workload.mean_rate
+        mu = 1.0 / sim.mean_lifetime
+        for n_rings, n_links in ((2, 1), (3, 3), (4, 6), (6, 15)):
+            net = NetworkConfig(n_rings=n_rings)
+            lam = sim.arrival_rate_for_utilization(0.5, net)
+            assert lam == pytest.approx(
+                0.5 * n_links * mu * net.atm_link_rate / rho
+            ), f"n_rings={n_rings}"
+
+    def test_mesh_count_matches_built_topology(self):
+        # The formula's n(n-1)/2 * C must equal what the built mesh
+        # actually reports as aggregate backbone capacity.
+        sim = SimulationConfig()
+        for n_rings in (2, 3, 4):
+            net = NetworkConfig(n_rings=n_rings)
+            topo = build_network(net)
+            assert sim.arrival_rate_for_utilization(
+                0.5, net
+            ) == pytest.approx(
+                sim.arrival_rate_for_utilization(
+                    0.5, net, backbone_capacity=topo.backbone_capacity()
+                )
+            )
+
+    def test_explicit_backbone_capacity_overrides(self):
+        sim = SimulationConfig()
+        rho = sim.workload.mean_rate
+        mu = 1.0 / sim.mean_lifetime
+        lam = sim.arrival_rate_for_utilization(0.5, None, backbone_capacity=1e9)
+        assert lam == pytest.approx(0.5 * mu * 1e9 / rho)
+        with pytest.raises(ConfigurationError):
+            sim.arrival_rate_for_utilization(0.5, None, backbone_capacity=0.0)
+
     def test_load_scale_validated(self):
         with pytest.raises(ConfigurationError):
             SimulationConfig(load_scale=0.0)
