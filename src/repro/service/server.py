@@ -244,9 +244,12 @@ class AdmissionService:
             return
         self._running = False
         self._wake.set()
-        if self._dispatcher is not None:
-            await self._dispatcher
-            self._dispatcher = None
+        # Claim-then-await: null the shared handle *before* suspending so
+        # a concurrent stop() cannot await (or re-null) the same task.
+        dispatcher = self._dispatcher
+        self._dispatcher = None
+        if dispatcher is not None:
+            await dispatcher
         if self._inflight:
             await asyncio.gather(*self._inflight, return_exceptions=True)
         for queued in self._queue:
@@ -285,13 +288,14 @@ class AdmissionService:
         dispatcher; file handles drop).
         """
         self._running = False
-        if self._dispatcher is not None:
-            self._dispatcher.cancel()
+        dispatcher = self._dispatcher
+        self._dispatcher = None
+        if dispatcher is not None:
+            dispatcher.cancel()
             try:
-                await self._dispatcher
+                await dispatcher
             except asyncio.CancelledError:
                 pass
-            self._dispatcher = None
         if self.journal is not None:
             self.journal.close()
         if self._executor is not None:
@@ -477,13 +481,6 @@ class AdmissionService:
         spec = queued.spec
         assert spec is not None
         conn_id = spec.conn_id
-        if conn_id in self.state.active:
-            self.metrics.count(ERROR)
-            return ServiceResponse(
-                verdict=ERROR,
-                conn_id=conn_id,
-                reason="connection id already active",
-            )
         if not self.ladder.admit_allowed():
             return self._busy_response(conn_id, "admissions frozen (overload)")
         if self.ladder.frozen:
@@ -496,6 +493,17 @@ class AdmissionService:
         # held here, so a merge cannot move records out from under a
         # decision running in the executor.
         async with self._structure_lock:
+            # Duplicate check under the structure lock: between an
+            # unguarded check and the decision another task could admit
+            # the same id (the controller would catch it, but only after
+            # shards were merged for nothing).
+            if conn_id in self.state.active:
+                self.metrics.count(ERROR)
+                return ServiceResponse(
+                    verdict=ERROR,
+                    conn_id=conn_id,
+                    reason="connection id already active",
+                )
             try:
                 route = self.state.route_of(spec)
             except RoutingError as exc:
@@ -512,11 +520,14 @@ class AdmissionService:
                 for other in overlap:
                     other.lock.release()
                 raise
+            # Hand off: drop every overlap lock (one of them may *be*
+            # the merged shard's), then take the deciding shard's lock
+            # unconditionally.  The structure lock is still held, so no
+            # other task can touch the shard map in between — and every
+            # path now provably exits this block holding shard.lock.
             for other in overlap:
-                if other is not shard:
-                    other.lock.release()
-            if shard not in overlap:
-                await shard.lock.acquire()
+                other.lock.release()
+            await shard.lock.acquire()
         try:
             shard.controller.set_analysis_config(
                 self.ladder.analysis_for(self._base_analysis)
@@ -583,10 +594,13 @@ class AdmissionService:
     # -- journaling ------------------------------------------------------
 
     async def _journal(self, op: str, data: Dict[str, Any]) -> None:
-        if self.journal is None:
+        # Bind once: the None check and the append must agree on the
+        # same object even if the handle were swapped across the await.
+        journal = self.journal
+        if journal is None:
             return
         async with self._journal_lock:
-            self.journal.append(op, data)
+            journal.append(op, data)
 
     def _write_snapshot(self) -> None:
         if self.journal is None or self.journal.next_seq == 1:
