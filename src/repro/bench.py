@@ -441,6 +441,27 @@ def _run_service_suite(
     return 1 if problems else 0
 
 
+def _run_lint_suite(
+    quick: bool, output: Optional[str], check_path: Optional[str]
+) -> int:
+    # Imported lazily: the bench module is also what the lint CI job
+    # runs, and it should not pay for the CAC machinery above.
+    from repro.lint import bench as lint_bench
+
+    if check_path is not None:
+        payload, problems = lint_bench.run_and_check(quick, check_path)
+    else:
+        payload, problems = lint_bench.run_lint_bench(quick), []
+    print(lint_bench.format_report(payload))
+    for problem in problems:
+        print(f"  FAIL: {problem}")
+    if output != "-":
+        _write_json(payload, output or "BENCH_lint.json")
+    if check_path is not None and not problems:
+        print("  lint bench check: OK")
+    return 1 if problems else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
@@ -454,7 +475,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("cac", "envelopes", "service", "all"),
+        choices=("cac", "envelopes", "service", "lint", "all"),
         default="cac",
         help="which bench suite to run (default: cac)",
     )
@@ -463,8 +484,7 @@ def main(argv=None) -> int:
         metavar="PATH",
         default=None,
         help=(
-            "JSON output path (default BENCH_cac.json / BENCH_envelopes.json "
-            "/ BENCH_service.json per suite; '-' to skip)"
+            "JSON output path (default BENCH_<suite>.json; '-' to skip)"
         ),
     )
     parser.add_argument(
@@ -488,6 +508,8 @@ def main(argv=None) -> int:
         rc |= _run_envelope_suite(args.quick, out, args.check)
     if args.suite == "service":
         rc |= _run_service_suite(args.quick, args.output, args.check)
+    if args.suite == "lint":
+        rc |= _run_lint_suite(args.quick, args.output, args.check)
     return rc
 
 

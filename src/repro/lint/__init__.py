@@ -2,7 +2,9 @@
 
 ``python -m repro lint [paths...]`` (or the standalone ``tools/reprolint``)
 checks the invariants the admission-control math and the discrete-event
-simulator rely on but ordinary linters cannot see:
+simulator rely on but ordinary linters cannot see.  RL001-RL004 are
+per-node AST rules; RL006-RL008 run on a per-function CFG + forward
+dataflow framework (:mod:`repro.lint.cfg`, :mod:`repro.lint.dataflow`):
 
 ========  ==============================================================
 RL001     determinism: no wall clock / module-level RNG state in
@@ -14,6 +16,14 @@ RL003     float safety: no exact ``==``/``!=`` against floats in the
           math kernels (use the tolerance helpers)
 RL004     cache purity: never mutate a value handed out by the delay
           engine's caches/memos
+RL005     suppression hygiene: pragmas need a justification and must
+          actually suppress something (stale pragmas are flagged)
+RL006     exception transactionality: registered transactional scopes
+          must not leak partial mutations through a raise
+RL007     asyncio atomicity: no read-await-write of shared service
+          state without holding a lock across the suspension
+RL008     dimension inference: no +,- or comparisons between values
+          inferred to hold different dimensions (s / bits / bits-per-s)
 ========  ==============================================================
 
 Suppress a finding with ``# reprolint: disable=RL00x -- justification``.
@@ -23,31 +33,46 @@ See ``docs/static_analysis.md`` for the full catalog and how to add rules.
 from __future__ import annotations
 
 from repro.lint.engine import (
+    ALL_RULES,
+    format_json_report,
     format_report,
     iter_python_files,
     lint_paths,
     lint_source,
     select_rules,
 )
-from repro.lint.findings import Finding, Suppressions, parse_suppressions
+from repro.lint.findings import Finding, Pragma, Suppressions, parse_suppressions
 from repro.lint.rules import (
-    ALL_RULES,
+    BASE_RULES,
     CachePurityRule,
     DeterminismRule,
     FloatSafetyRule,
     Rule,
     UnitDisciplineRule,
 )
+from repro.lint.rules_flow import (
+    FLOW_RULES,
+    AsyncAtomicityRule,
+    DimensionRule,
+    TransactionalityRule,
+)
 
 __all__ = [
     "ALL_RULES",
+    "AsyncAtomicityRule",
+    "BASE_RULES",
     "CachePurityRule",
     "DeterminismRule",
+    "DimensionRule",
+    "FLOW_RULES",
     "Finding",
     "FloatSafetyRule",
+    "Pragma",
     "Rule",
     "Suppressions",
+    "TransactionalityRule",
     "UnitDisciplineRule",
+    "format_json_report",
     "format_report",
     "iter_python_files",
     "lint_paths",

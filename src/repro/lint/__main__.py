@@ -1,4 +1,7 @@
-"""CLI for reprolint: ``python -m repro.lint [paths...]``."""
+"""CLI for reprolint: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = linter crash (or usage error).
+"""
 
 from __future__ import annotations
 
@@ -6,8 +9,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.lint.engine import format_report, lint_paths, select_rules
-from repro.lint.rules import ALL_RULES
+from repro.lint.engine import (
+    ALL_RULES,
+    format_json_report,
+    format_report,
+    lint_paths,
+    select_rules,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -16,7 +24,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         description=(
             "Domain-aware static analysis: determinism (RL001), unit "
             "discipline (RL002), float safety (RL003), cache purity "
-            "(RL004)."
+            "(RL004), exception transactionality (RL006), asyncio "
+            "atomicity (RL007), dimension inference (RL008)."
         ),
     )
     parser.add_argument(
@@ -30,6 +39,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="CODES",
         default=None,
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write the JSON report to PATH (stdout keeps --format); "
+            "used by CI to publish the report artifact"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -55,8 +79,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     except ValueError as exc:
         parser.error(str(exc))
-    findings = lint_paths(args.paths, rules=rules)
-    print(format_report(findings, show_hints=not args.no_hints))
+    try:
+        findings = lint_paths(args.paths, rules=rules)
+        if args.format == "json":
+            sys.stdout.write(format_json_report(findings))
+        else:
+            print(format_report(findings, show_hints=not args.no_hints))
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(format_json_report(findings))
+    except Exception as exc:  # a linter bug must not masquerade as "clean"
+        print(
+            f"reprolint: internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     return 1 if findings else 0
 
 

@@ -1,0 +1,133 @@
+"""Tracked lint benchmark: ``python -m repro bench --suite lint``.
+
+The committed artifact (``BENCH_lint.json``) gates three properties:
+
+* **cleanliness** — the shipped tree lints clean under RL001-RL008;
+* **determinism** — repeated runs produce identical findings;
+* **latency budget** — the median wall time of one full-tree run stays
+  under the committed ``budget_s`` ceiling.  The budget is deliberately
+  generous (an order of magnitude above the observed median) so it
+  catches an accidentally super-linear rule, not machine jitter.
+
+Raw latency quantiles are recorded for review diffs but never gated.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+import repro
+from repro.lint.engine import ALL_RULES, iter_python_files, lint_paths
+
+#: Gated ceiling on the median full-tree lint time, in seconds.
+DEFAULT_BUDGET_S = 10.0
+
+
+def _src_root() -> Path:
+    """The ``src`` directory containing the installed ``repro`` package."""
+    return Path(repro.__file__).resolve().parents[1]
+
+
+def _p90(times: List[float]) -> float:
+    ordered = sorted(times)
+    return ordered[min(len(ordered) - 1, int(0.9 * len(ordered)))]
+
+
+def run_lint_bench(quick: bool = False) -> Dict[str, Any]:
+    rounds, warmup = (3, 1) if quick else (5, 2)
+    src = str(_src_root())
+    n_files = sum(1 for _ in iter_python_files([src]))
+    baseline = lint_paths([src])
+    repeat = baseline
+    times: List[float] = []
+    for _ in range(rounds + warmup):
+        t0 = time.perf_counter()
+        repeat = lint_paths([src])
+        times.append(time.perf_counter() - t0)
+    times = times[warmup:]
+    by_code: Dict[str, int] = {}
+    for finding in baseline:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    median = statistics.median(times)
+    return {
+        "suite": "lint",
+        "quick": quick,
+        "rules": [rule.code for rule in ALL_RULES],
+        "n_files": n_files,
+        "findings_total": len(baseline),
+        "findings_by_code": by_code,
+        "clean": not baseline,
+        "deterministic": repeat == baseline,
+        "rounds": len(times),
+        "median_s": median,
+        "p90_s": _p90(times),
+        "per_file_ms": (median / n_files * 1000.0) if n_files else 0.0,
+        "budget_s": DEFAULT_BUDGET_S,
+    }
+
+
+def check_lint_payload(
+    current: Dict[str, Any], committed: Dict[str, Any]
+) -> List[str]:
+    """Gated comparison of a fresh run against the committed artifact."""
+    problems: List[str] = []
+    for payload, who in ((current, "current"), (committed, "committed")):
+        if payload.get("clean") is not True:
+            problems.append(
+                f"{who}: tree is not lint-clean "
+                f"({payload.get('findings_total')} finding(s): "
+                f"{payload.get('findings_by_code')})"
+            )
+        if payload.get("deterministic") is not True:
+            problems.append(f"{who}: repeated lint runs diverged")
+    if current.get("rules") != committed.get("rules"):
+        problems.append(
+            f"rule catalog drifted: {current.get('rules')} != committed "
+            f"{committed.get('rules')} (regenerate BENCH_lint.json)"
+        )
+    budget = committed.get("budget_s", DEFAULT_BUDGET_S)
+    median = current.get("median_s")
+    if not isinstance(budget, (int, float)) or not isinstance(
+        median, (int, float)
+    ):
+        problems.append("payload is missing budget_s/median_s")
+    elif median > budget:
+        problems.append(
+            f"lint run blew its latency budget: median {median:.2f}s > "
+            f"{budget:.2f}s ceiling"
+        )
+    return problems
+
+
+def run_and_check(
+    quick: bool, committed_path: str
+) -> Tuple[Dict[str, Any], List[str]]:
+    payload = run_lint_bench(quick)
+    try:
+        with open(committed_path, encoding="utf-8") as fh:
+            committed = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return payload, [f"cannot read committed payload: {exc}"]
+    return payload, check_lint_payload(payload, committed)
+
+
+def format_report(payload: Dict[str, Any]) -> str:
+    lines = [
+        "lint benchmark"
+        + (" (quick)" if payload["quick"] else "")
+        + " — full-tree reprolint runs, warm rounds",
+        "",
+        f"  files: {payload['n_files']}  rules: {len(payload['rules'])}  "
+        f"findings: {payload['findings_total']}"
+        + ("" if payload["clean"] else f" {payload['findings_by_code']}"),
+        f"  median: {payload['median_s'] * 1000.0:.0f}ms  "
+        f"p90: {payload['p90_s'] * 1000.0:.0f}ms  "
+        f"per file: {payload['per_file_ms']:.1f}ms  "
+        f"(budget {payload['budget_s']:.0f}s)",
+        "  deterministic: " + ("yes" if payload["deterministic"] else "NO — BUG"),
+    ]
+    return "\n".join(lines)

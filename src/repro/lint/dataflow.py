@@ -1,0 +1,148 @@
+"""Forward dataflow over lint CFGs.
+
+A small worklist fixed-point driver in the same discipline as the delay
+engine's port worklist (:mod:`repro.core.delay`): deterministic
+processing order, re-queue only what changed, and a hard iteration cap
+that turns a (theoretically impossible) divergence into a loud error
+instead of a hang.
+
+Termination does not rely on the analysis's transfer function being
+monotone: incoming states are **accumulated** into each block's IN
+state with :meth:`Analysis.join` (they are never recomputed from
+scratch), so IN states only ever move up the lattice.  With a finite
+fact universe — every analysis here derives its facts from the finite
+set of names/lines in one function — the fixpoint is reached in a
+bounded number of visits.
+
+Exception edges (``Block.except_targets``) receive the block's **IN**
+state, not its OUT state: a statement that raises is assumed not to
+have completed its own effect (see :mod:`repro.lint.cfg`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Generic, List, Optional, TypeVar
+
+from repro.lint.cfg import CFG, Event
+
+S = TypeVar("S")
+
+
+class DataflowDivergenceError(RuntimeError):
+    """The fixpoint iteration exceeded its visit budget."""
+
+
+class Analysis(Generic[S]):
+    """One forward analysis: an initial state, a join, and a transfer."""
+
+    def initial_state(self) -> S:
+        """The state on entry to the function."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states (associative, commutative)."""
+        raise NotImplementedError
+
+    def transfer(self, state: S, event: Event) -> S:
+        """The state after ``event`` executes in ``state``."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class FixpointResult(Generic[S]):
+    """Converged per-block states (blocks never reached are absent)."""
+
+    block_in: Dict[int, S]
+    block_out: Dict[int, S]
+    visits: int
+
+
+def run_forward(
+    cfg: CFG,
+    analysis: Analysis[S],
+    max_visits: Optional[int] = None,
+) -> FixpointResult[S]:
+    """Iterate ``analysis`` over ``cfg`` to a fixpoint.
+
+    ``max_visits`` bounds the total number of block evaluations
+    (default: generous in the block count); exceeding it raises
+    :class:`DataflowDivergenceError`.
+    """
+    if max_visits is None:
+        max_visits = 256 * (len(cfg.blocks) + 1)
+    block_in: Dict[int, S] = {cfg.entry: analysis.initial_state()}
+    block_out: Dict[int, S] = {}
+    pending = {cfg.entry}
+    visits = 0
+    while pending:
+        visits += 1
+        if visits > max_visits:
+            raise DataflowDivergenceError(
+                f"dataflow did not converge within {max_visits} block "
+                f"visits ({len(cfg.blocks)} blocks)"
+            )
+        block_id = min(pending)  # deterministic order
+        pending.discard(block_id)
+        block = cfg.blocks[block_id]
+        state = block_in[block_id]
+
+        # Exception edges: the pre-block state reaches the handlers.
+        for target in block.except_targets:
+            if _accumulate(block_in, target, state, analysis):
+                pending.add(target)
+
+        for event in block.events:
+            state = analysis.transfer(state, event)
+        changed = block_id not in block_out or block_out[block_id] != state
+        block_out[block_id] = state
+        if changed:
+            for target in block.succ:
+                if _accumulate(block_in, target, state, analysis):
+                    pending.add(target)
+    return FixpointResult(block_in=block_in, block_out=block_out, visits=visits)
+
+
+def _accumulate(
+    block_in: Dict[int, S], target: int, incoming: S, analysis: Analysis[S]
+) -> bool:
+    """Join ``incoming`` into ``block_in[target]``; True when it changed."""
+    if target not in block_in:
+        block_in[target] = incoming
+        return True
+    joined = analysis.join(block_in[target], incoming)
+    if joined != block_in[target]:
+        block_in[target] = joined
+        return True
+    return False
+
+
+def replay(
+    cfg: CFG,
+    result: FixpointResult[S],
+    analysis: Analysis[S],
+    visit: Callable[[S, Event], None],
+) -> None:
+    """Call ``visit(state_before_event, event)`` for every reached event.
+
+    This is the reporting pass: the fixpoint gives each block's IN
+    state, and rules inspect the state *in front of* each event (e.g.
+    "are any mutation facts live at this ``raise``?").  Blocks are
+    walked in id order so findings come out deterministic.
+    """
+    for block_id in cfg.block_ids():
+        if block_id not in result.block_in:
+            continue  # unreachable
+        state = result.block_in[block_id]
+        for event in cfg.blocks[block_id].events:
+            visit(state, event)
+            state = analysis.transfer(state, event)
+
+
+def reached_events(cfg: CFG, result: FixpointResult[S]) -> List[Event]:
+    """Every event of a reachable block, in deterministic order."""
+    out: List[Event] = []
+    for block_id in cfg.block_ids():
+        if block_id in result.block_in:
+            out.extend(cfg.blocks[block_id].events)
+    return out

@@ -3,12 +3,20 @@
 from __future__ import annotations
 
 import ast
+import json
 import os
 from pathlib import Path, PurePosixPath
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.lint.findings import Finding, parse_suppressions
-from repro.lint.rules import ALL_RULES, Rule
+from repro.lint.findings import Finding, Suppressions, parse_suppressions
+from repro.lint.rules import BASE_RULES, Rule
+from repro.lint.rules_flow import FLOW_RULES
+
+#: The full registry, in rule-code order.
+ALL_RULES: Tuple[Rule, ...] = BASE_RULES + FLOW_RULES
+
+#: Schema version of the JSON report (bump on incompatible change).
+JSON_SCHEMA_VERSION = 1
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
@@ -51,7 +59,8 @@ def lint_source(
     findings still report ``path``.
     """
     scope = PurePosixPath((virtual_path or path).replace(os.sep, "/"))
-    active = [rule for rule in rules or ALL_RULES if rule.applies_to(scope)]
+    selected = tuple(rules or ALL_RULES)
+    active = [rule for rule in selected if rule.applies_to(scope)]
     if not active:
         return []
     try:
@@ -79,11 +88,60 @@ def lint_source(
                 hint="append ' -- <why>' after the disabled code(s)",
             )
         )
+    used: Set[Tuple[int, str]] = set()
     for rule in active:
         for finding in rule.check(tree, source, path, scope_path=str(scope)):
-            if not suppressions.is_suppressed(finding):
+            hits = suppressions.match(finding)
+            if hits:
+                used.update(hits)
+            else:
                 findings.append(finding)
+    findings.extend(
+        _stale_pragma_findings(
+            suppressions, used, frozenset(r.code for r in selected), path
+        )
+    )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def _stale_pragma_findings(
+    suppressions: Suppressions,
+    used: Set[Tuple[int, str]],
+    selected_codes: FrozenSet[str],
+    path: str,
+) -> List[Finding]:
+    """RL005 findings for pragma entries that suppressed nothing.
+
+    An entry is only judged when the run could have produced its
+    findings: a plain code must be among the selected rules, ``ALL``
+    requires the full rule set.  ``RL005`` entries are never judged —
+    RL005 findings are engine-emitted and not suppressible.
+    """
+    all_codes = {rule.code for rule in ALL_RULES}
+    findings: List[Finding] = []
+    for index, pragma in enumerate(suppressions.pragmas):
+        for code in pragma.codes:
+            if (index, code) in used or code == "RL005":
+                continue
+            if code == "ALL":
+                if not all_codes <= selected_codes:
+                    continue
+                message = "stale suppression: this pragma suppresses nothing"
+            else:
+                if code not in selected_codes:
+                    continue
+                message = f"stale suppression: {code} is not triggered here"
+            findings.append(
+                Finding(
+                    path=path,
+                    line=pragma.line,
+                    col=1,
+                    code="RL005",
+                    message=message,
+                    hint="remove the pragma (or the unused code from it)",
+                )
+            )
     return findings
 
 
@@ -115,13 +173,37 @@ def format_report(findings: Sequence[Finding], show_hints: bool = True) -> str:
     """Human-readable report: one line per finding plus a summary."""
     lines = [finding.format(show_hint=show_hints) for finding in findings]
     if findings:
-        by_code: Dict[str, int] = {}
-        for finding in findings:
-            by_code[finding.code] = by_code.get(finding.code, 0) + 1
         summary = ", ".join(
-            f"{code}: {count}" for code, count in sorted(by_code.items())
+            f"{code}: {count}" for code, count in sorted(_by_code(findings).items())
         )
         lines.append(f"reprolint: {len(findings)} finding(s) ({summary})")
     else:
         lines.append("reprolint: clean")
     return "\n".join(lines)
+
+
+def format_json_report(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (schema documented in docs/static_analysis.md).
+
+    Deterministic: findings keep engine order (path, line, col, code) and
+    keys are sorted, so two runs over the same tree render byte-identical
+    reports.
+    """
+    payload = {
+        "schema": "reprolint-report",
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": {
+            "total": len(findings),
+            "by_code": _by_code(findings),
+            "clean": not findings,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _by_code(findings: Sequence[Finding]) -> Dict[str, int]:
+    by_code: Dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    return by_code

@@ -1,18 +1,22 @@
 """Finding records and ``# reprolint: disable=`` pragma handling.
 
 A finding pins a rule violation to a file position.  Findings can be
-suppressed at the line level with a trailing pragma::
+suppressed at the line level with a trailing pragma (``RL0xx`` stands
+for a real rule code; the placeholder keeps these examples from parsing
+as live pragmas of *this* file)::
 
-    t0 = time.time()  # reprolint: disable=RL001 -- reporting-only timer
+    t0 = time.time()  # reprolint: disable=RL0xx -- reporting-only timer
 
 or for a whole file by placing the pragma on a comment-only line within
 the first ten lines of the file::
 
-    # reprolint: disable-file=RL002 -- this module IS the unit table
+    # reprolint: disable-file=RL0xx -- this module IS the unit table
 
 The text after ``--`` is the justification; a pragma carrying no
 justification is itself reported (RL005), so suppressions stay
-reviewable.
+reviewable.  The engine also tracks which pragmas actually matched a
+finding: a pragma that suppresses nothing is reported as *stale*
+(RL005), so fixed code sheds its pragmas instead of fossilizing them.
 """
 
 from __future__ import annotations
@@ -49,6 +53,29 @@ class Finding:
             text += f"  [fix: {self.hint}]"
         return text
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (stable key set; see docs/static_analysis.md)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression pragma."""
+
+    #: Physical line the pragma text sits on.
+    line: int
+    #: ``disable`` or ``disable-file``.
+    kind: str
+    codes: Tuple[str, ...]
+    justified: bool
+
 
 @dataclasses.dataclass(frozen=True)
 class Suppressions:
@@ -58,6 +85,32 @@ class Suppressions:
     file_wide: FrozenSet[str]
     #: Lines whose pragma carried no ``-- justification`` text.
     unjustified: Tuple[int, ...]
+    #: Every pragma, in source order (indices identify them in ``match``).
+    pragmas: Tuple[Pragma, ...] = ()
+    #: Effective line -> indices into ``pragmas`` covering that line.
+    line_pragmas: Dict[int, Tuple[int, ...]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Indices into ``pragmas`` that act file-wide.
+    file_pragmas: Tuple[int, ...] = ()
+
+    def match(self, finding: Finding) -> List[Tuple[int, str]]:
+        """``(pragma_index, code)`` pairs that suppress ``finding``.
+
+        ``code`` is the entry as written in the pragma (a rule code or
+        ``ALL``), so the engine can mark exactly which entries earned
+        their keep when hunting stale suppressions.
+        """
+        hits: List[Tuple[int, str]] = []
+        candidates = list(self.file_pragmas)
+        candidates += list(self.line_pragmas.get(finding.line, ()))
+        for index in candidates:
+            pragma = self.pragmas[index]
+            if finding.code in pragma.codes:
+                hits.append((index, finding.code))
+            elif "ALL" in pragma.codes:
+                hits.append((index, "ALL"))
+        return hits
 
     def is_suppressed(self, finding: Finding) -> bool:
         if "ALL" in self.file_wide or finding.code in self.file_wide:
@@ -76,6 +129,9 @@ def parse_suppressions(source: str) -> Suppressions:
     by_line: Dict[int, Set[str]] = {}
     file_wide: Set[str] = set()
     unjustified: List[int] = []
+    pragmas: List[Pragma] = []
+    line_pragmas: Dict[int, List[int]] = {}
+    file_pragmas: List[int] = []
     lines = source.splitlines()
     for lineno, raw in enumerate(lines, start=1):
         match = _PRAGMA_RE.search(raw)
@@ -93,17 +149,35 @@ def parse_suppressions(source: str) -> Suppressions:
             unjustified.append(lineno)
         kind = match.group(1)
         comment_only = raw.lstrip().startswith("#")
+        index = len(pragmas)
+        pragmas.append(
+            Pragma(
+                line=lineno,
+                kind=kind,
+                codes=tuple(sorted(codes)),
+                justified=bool(why),
+            )
+        )
         if kind == "disable-file":
             if lineno <= _FILE_PRAGMA_WINDOW and comment_only:
                 file_wide |= codes
+                file_pragmas.append(index)
             else:  # misplaced file pragma degrades to a line pragma
                 by_line.setdefault(lineno, set()).update(codes)
+                line_pragmas.setdefault(lineno, []).append(index)
             continue
         by_line.setdefault(lineno, set()).update(codes)
+        line_pragmas.setdefault(lineno, []).append(index)
         if comment_only:
             by_line.setdefault(lineno + 1, set()).update(codes)
+            line_pragmas.setdefault(lineno + 1, []).append(index)
     return Suppressions(
         by_line={line: frozenset(codes) for line, codes in by_line.items()},
         file_wide=frozenset(file_wide),
         unjustified=tuple(unjustified),
+        pragmas=tuple(pragmas),
+        line_pragmas={
+            line: tuple(indices) for line, indices in line_pragmas.items()
+        },
+        file_pragmas=tuple(file_pragmas),
     )

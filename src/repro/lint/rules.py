@@ -761,8 +761,9 @@ def _flatten_targets(node: ast.AST) -> Iterable[ast.AST]:
         yield node
 
 
-#: Registry, in rule-code order.
-ALL_RULES: Tuple[Rule, ...] = (
+#: The AST-walk rules; the engine appends the flow rules (RL006-RL008)
+#: from :mod:`repro.lint.rules_flow` to form the full registry.
+BASE_RULES: Tuple[Rule, ...] = (
     DeterminismRule(),
     UnitDisciplineRule(),
     FloatSafetyRule(),

@@ -1,0 +1,29 @@
+"""RL006 must-flag fixture: the pre-PR-9 ``connect_switches`` body.
+
+Linted under the virtual path ``repro/network/topology.py`` — the
+registered transactional scope.  The bug: validation happens *inside*
+the mutation loop, so the second iteration can raise after the first
+iteration already attached a link, leaving a half-connected backbone.
+Flow-wise the mutation facts reach the ``raise`` through the loop back
+edge.
+"""
+
+
+class HeterogeneousTopology:
+    def connect_switches(
+        self, a, b, rate, propagation_delay=0.0, bidirectional=True
+    ) -> None:
+        """Create the directed link(s) between two backbone switches."""
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for src, dst in pairs:
+            if src not in self.switches or dst not in self.switches:
+                raise TopologyError(f"unknown switch in pair ({src!r}, {dst!r})")
+            if (src, dst) in self._switch_links:
+                raise TopologyError(f"link {src}->{dst} already exists")
+            link = AtmLink(
+                f"{src}->{dst}", rate=rate, propagation_delay=propagation_delay
+            )
+            self.switches[src].attach_link(link)
+            self._switch_links[(src, dst)] = link
+            self.change_count += 1
+            self._backbone.add_edge(src, dst, weight=propagation_delay + 1.0)

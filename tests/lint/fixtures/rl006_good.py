@@ -1,0 +1,41 @@
+"""RL006 clean fixture: transactional idioms that must NOT be flagged.
+
+``connect_switches`` is the PR-9 fix (validate everything, then mutate
+everything); ``_decide`` is the CAC two-ring idiom — the second
+allocation may raise, but the handler rolls back the first before
+re-raising, and the exception edge carries the *pre-statement* state so
+the second allocation's own fact is not live in the handler.
+"""
+
+
+class HeterogeneousTopology:
+    def connect_switches(
+        self, a, b, rate, propagation_delay=0.0, bidirectional=True
+    ) -> None:
+        pairs = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        for src, dst in pairs:
+            if src not in self.switches or dst not in self.switches:
+                raise TopologyError(f"unknown switch in pair ({src!r}, {dst!r})")
+            if (src, dst) in self._switch_links:
+                raise TopologyError(f"link {src}->{dst} already exists")
+        for src, dst in pairs:
+            link = AtmLink(
+                f"{src}->{dst}", rate=rate, propagation_delay=propagation_delay
+            )
+            self.switches[src].attach_link(link)
+            self._switch_links[(src, dst)] = link
+            self.change_count += 1
+            self._backbone.add_edge(src, dst, weight=propagation_delay + 1.0)
+
+
+class Controller:
+    def _decide(self, spec, h_source, h_dest):  # reprolint: transactional
+        ring_s = self.topology.rings[spec.source_ring]
+        ring_r = self.topology.rings[spec.dest_ring]
+        ring_s.allocate(spec.conn_id, h_source)
+        try:
+            ring_r.allocate(spec.conn_id, h_dest)
+        except Exception:
+            ring_s.release(spec.conn_id)
+            raise
+        self.connections[spec.conn_id] = spec

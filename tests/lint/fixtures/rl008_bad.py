@@ -1,0 +1,24 @@
+"""RL008 must-flag fixture: definite cross-dimension arithmetic.
+
+Dimensions are seeded from parameter suffixes/conventional names and
+the repro.units helpers, then propagated through assignment — the
+mismatches below survive inference with *concrete* differing dimensions.
+"""
+
+from repro.units import bytes_to_bits, mbps
+
+
+def window(deadline_s, frame_bits):
+    budget = deadline_s * 0.5
+    return budget + frame_bits  # seconds + bits
+
+
+def feasible(bandwidth, ttrt):
+    return bandwidth < ttrt  # bits/s vs seconds
+
+
+def occupancy(payload_bytes, link_rate_bps):
+    size = bytes_to_bits(payload_bytes)
+    rate = mbps(100.0)
+    spare = link_rate_bps - rate
+    return size - spare  # bits - bits/s

@@ -1,0 +1,29 @@
+"""RL008 clean fixture: dimensionally sound arithmetic.
+
+Time*rate -> data, data/rate -> time, same-dimension ratios are
+dimensionless, and dimensionless literals absorb freely — none of this
+may be flagged.  Unknown dimensions stay silent (RL002 is the lexical
+fallback there).
+"""
+
+from repro.units import mbps
+
+
+def latency(frame_bits, bandwidth):
+    service_s = frame_bits / bandwidth
+    return service_s + 0.001
+
+
+def budget(ttrt, overhead_s):
+    spare_s = ttrt - overhead_s
+    utilization = spare_s / ttrt
+    return utilization * 2.0
+
+
+def throughput(window_s, rate):
+    data_bits = window_s * rate
+    return data_bits / mbps(1.0)
+
+
+def opaque(x, y):
+    return x + y  # both unknown: silent

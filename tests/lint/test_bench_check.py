@@ -1,0 +1,64 @@
+"""The lint bench gate must catch drift in the committed artifact."""
+
+import copy
+
+from repro.lint.bench import check_lint_payload
+
+
+def _payload():
+    return {
+        "suite": "lint",
+        "quick": False,
+        "rules": ["RL001", "RL002", "RL006"],
+        "n_files": 10,
+        "findings_total": 0,
+        "findings_by_code": {},
+        "clean": True,
+        "deterministic": True,
+        "rounds": 5,
+        "median_s": 0.5,
+        "p90_s": 0.6,
+        "per_file_ms": 50.0,
+        "budget_s": 10.0,
+    }
+
+
+def test_identical_payloads_pass():
+    assert check_lint_payload(_payload(), _payload()) == []
+
+
+def test_dirty_tree_fails():
+    current = _payload()
+    current["clean"] = False
+    current["findings_total"] = 3
+    current["findings_by_code"] = {"RL006": 3}
+    problems = check_lint_payload(current, _payload())
+    assert any("not lint-clean" in p for p in problems)
+
+
+def test_nondeterminism_fails():
+    current = _payload()
+    current["deterministic"] = False
+    problems = check_lint_payload(current, _payload())
+    assert any("diverged" in p for p in problems)
+
+
+def test_rule_catalog_drift_fails():
+    current = _payload()
+    current["rules"] = current["rules"] + ["RL009"]
+    problems = check_lint_payload(current, _payload())
+    assert any("catalog drifted" in p for p in problems)
+
+
+def test_budget_blowout_fails():
+    current = _payload()
+    current["median_s"] = 11.0
+    problems = check_lint_payload(current, _payload())
+    assert any("latency budget" in p for p in problems)
+
+
+def test_generous_budget_tolerates_jitter():
+    current = _payload()
+    current["median_s"] = 2.0  # 4x slower but inside the ceiling
+    committed = copy.deepcopy(_payload())
+    assert check_lint_payload(current, committed) == []

@@ -170,7 +170,10 @@ class TestSuppressions:
             "t = time.time()  # reprolint: disable=RL002 -- wrong code\n"
         )
         findings = lint_source(source, "s.py", virtual_path="repro/sim/s.py")
-        assert codes(findings) == ["RL001"]
+        # The RL001 still fires, and the RL002 pragma — suppressing
+        # nothing — is reported stale.
+        assert codes(findings) == ["RL001", "RL005"]
+        assert any("stale suppression" in f.message for f in findings)
 
     def test_unjustified_pragma_reports_rl005(self):
         source = (

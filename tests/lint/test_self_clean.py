@@ -5,10 +5,12 @@ runs over ``src`` and finds nothing (or only explicitly justified
 suppressions).
 """
 
+import json
 import subprocess
 import sys
 from pathlib import Path
 
+import repro.lint.__main__ as lint_cli
 from repro.lint import format_report, lint_paths
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -55,5 +57,55 @@ def test_standalone_tool_runs():
         text=True,
     )
     assert proc.returncode == 0
-    for code in ("RL001", "RL002", "RL003", "RL004"):
+    for code in (
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL006",
+        "RL007",
+        "RL008",
+    ):
         assert code in proc.stdout
+
+
+def test_cli_json_format_and_output_artifact(tmp_path):
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nt0 = time.time()\n", encoding="utf-8")
+    report_path = tmp_path / "report.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "lint",
+            str(tmp_path / "repro"),
+            "--format",
+            "json",
+            "--output",
+            str(report_path),
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["schema"] == "reprolint-report"
+    assert payload["summary"]["clean"] is False
+    assert any(f["code"] == "RL001" for f in payload["findings"])
+    # --output writes the same JSON report regardless of --format
+    assert report_path.read_text(encoding="utf-8") == proc.stdout
+
+
+def test_cli_exits_two_on_internal_error(monkeypatch, capsys):
+    def boom(paths, rules=None):
+        raise RuntimeError("synthetic linter bug")
+
+    monkeypatch.setattr(lint_cli, "lint_paths", boom)
+    assert lint_cli.main(["src"]) == 2
+    err = capsys.readouterr().err
+    assert "reprolint: internal error" in err
+    assert "synthetic linter bug" in err
